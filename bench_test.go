@@ -1,0 +1,172 @@
+package distec
+
+import (
+	"io"
+	"testing"
+
+	"github.com/distec/distec/internal/bench"
+	"github.com/distec/distec/internal/core"
+	"github.com/distec/distec/internal/defective"
+	"github.com/distec/distec/internal/graph"
+	"github.com/distec/distec/internal/linial"
+	"github.com/distec/distec/internal/listcolor"
+	"github.com/distec/distec/internal/local"
+	"github.com/distec/distec/internal/pseudoforest"
+	"github.com/distec/distec/internal/randomized"
+)
+
+// The benchmarks below regenerate each experiment of DESIGN.md §2 at smoke
+// scale (so `go test -bench=.` stays tractable); cmd/benchtables produces
+// the full tables recorded in EXPERIMENTS.md. Each benchmark reports the
+// experiment's key figure of merit as a custom metric alongside ns/op.
+
+func benchExperiment(b *testing.B, runner func(bench.Scale) (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := runner(bench.Smoke)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1_RoundsVsDelta(b *testing.B)     { benchExperiment(b, bench.E1RoundsVsDelta) }
+func BenchmarkE2_RoundsVsN(b *testing.B)         { benchExperiment(b, bench.E2RoundsVsN) }
+func BenchmarkE3_SlackReduction(b *testing.B)    { benchExperiment(b, bench.E3SlackReduction) }
+func BenchmarkE4_DefectiveColoring(b *testing.B) { benchExperiment(b, bench.E4Defective) }
+func BenchmarkE5_LevelExistence(b *testing.B)    { benchExperiment(b, bench.E5Levels) }
+func BenchmarkE6_SpaceReduction(b *testing.B)    { benchExperiment(b, bench.E6SpaceReduction) }
+func BenchmarkE7_ChainedReduction(b *testing.B)  { benchExperiment(b, bench.E7Chain) }
+func BenchmarkE8_Fig5Partition(b *testing.B)     { benchExperiment(b, bench.E8Fig5) }
+func BenchmarkE9_TheoryPreset(b *testing.B)      { benchExperiment(b, bench.E9TheoryPreset) }
+func BenchmarkE11_VirtualSplit(b *testing.B)     { benchExperiment(b, bench.E11VirtualSplit) }
+func BenchmarkE12_AlgorithmMatrix(b *testing.B)  { benchExperiment(b, bench.E12AlgorithmMatrix) }
+func BenchmarkE13_AblationPhases(b *testing.B)   { benchExperiment(b, bench.E13AblationPhases) }
+func BenchmarkE14_Engines(b *testing.B)          { benchExperiment(b, bench.E14Engines) }
+
+// BenchmarkE10_Walkthrough covers E10 (Figures 1–4): the walkthrough's
+// machinery — one full defective sweep plus remainder — on a small instance.
+func BenchmarkE10_Walkthrough(b *testing.B) {
+	g := graph.GNP(18, 0.33, 5)
+	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
+	for i := 0; i < b.N; i++ {
+		res, err := core.SolveGraph(in, core.Practical(), local.RunSequential)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Colors[0] < 0 {
+			b.Fatal("uncolored")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the substrates (throughput accounting). ---
+
+func BenchmarkGraphEdgeConflictBuild(b *testing.B) {
+	g := graph.RandomRegular(512, 16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp := local.EdgeConflict(g)
+		if tp.N() != g.M() {
+			b.Fatal("bad topology")
+		}
+	}
+}
+
+func BenchmarkLinialReduce(b *testing.B) {
+	g := graph.RandomRegular(512, 8, 2)
+	tp := local.EdgeConflict(g)
+	init := make([]int, tp.N())
+	for i := range init {
+		init[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := linial.Reduce(tp, init, tp.N(), local.RunSequential); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDefectiveColoring(b *testing.B) {
+	g := graph.RandomRegular(512, 16, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := defective.ColorGraph(g, nil, 2, local.RunSequential); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverBKO(b *testing.B) {
+	g := graph.RandomRegular(256, 8, 4)
+	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := core.SolveGraph(in, core.Practical(), local.RunSequential)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "LOCALrounds")
+}
+
+func BenchmarkSolverPR01(b *testing.B) {
+	g := graph.RandomRegular(256, 8, 4)
+	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		_, stats, err := pseudoforest.Solve(g, nil, in.Lists, local.RunSequential)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "LOCALrounds")
+}
+
+func BenchmarkSolverRandomized(b *testing.B) {
+	g := graph.RandomRegular(256, 8, 4)
+	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		_, stats, err := randomized.Solve(g, nil, in.Lists, uint64(i), local.RunSequential)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "LOCALrounds")
+}
+
+func BenchmarkEngineSequential(b *testing.B) { benchEngine(b, local.RunSequential) }
+func BenchmarkEngineGoroutines(b *testing.B) { benchEngine(b, local.RunGoroutines) }
+
+func benchEngine(b *testing.B, run local.Runner) {
+	b.Helper()
+	g := graph.RandomRegular(256, 8, 5)
+	tp := local.EdgeConflict(g)
+	init := make([]int, tp.N())
+	for i := range init {
+		init[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := linial.Reduce(tp, init, tp.N(), run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Guard: writing all experiment tables to io.Discard at smoke scale is the
+// full-harness benchmark (what CI tracks for regressions).
+func BenchmarkAllTablesSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.WriteAll(io.Discard, bench.Smoke); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

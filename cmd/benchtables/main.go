@@ -1,0 +1,51 @@
+// Command benchtables regenerates every experiment table of EXPERIMENTS.md
+// (the per-claim reproduction index is in DESIGN.md §2).
+//
+// Usage:
+//
+//	benchtables                 # standard scale, ~minutes
+//	benchtables -scale smoke    # seconds (CI)
+//	benchtables -scale full     # the largest documented sizes
+//	benchtables -o EXPERIMENTS-tables.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/distec/distec/internal/bench"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "standard", "smoke|standard|full")
+		outFile   = flag.String("o", "", "write tables to file (default stdout)")
+	)
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	start := time.Now()
+	fmt.Fprintf(w, "# Experiment tables (scale: %s, generated %s)\n\n", *scaleFlag, time.Now().Format(time.RFC3339))
+	if err := bench.WriteAll(w, scale); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchtables: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadGraphGenerators(t *testing.T) {
+	cases := []struct {
+		gen  string
+		n, d int
+		p    float64
+	}{
+		{"regular", 32, 4, 0},
+		{"gnp", 40, 0, 0.1},
+		{"geometric", 40, 0, 0.2},
+		{"powerlaw", 40, 8, 0},
+		{"complete", 8, 0, 0},
+		{"cycle", 9, 0, 0},
+		{"bipartite", 10, 0, 0},
+		{"tree", 20, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.gen, func(t *testing.T) {
+			g, err := loadGraph("", tc.gen, tc.n, tc.d, tc.p, 1)
+			if err != nil {
+				t.Fatalf("loadGraph: %v", err)
+			}
+			if g.N() == 0 {
+				t.Fatal("empty graph")
+			}
+		})
+	}
+}
+
+func TestLoadGraphUnknownGenerator(t *testing.T) {
+	if _, err := loadGraph("", "nope", 10, 3, 0, 1); err == nil {
+		t.Fatal("accepted unknown generator")
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("3 2\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, "", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatalf("loadGraph(file): %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestLoadGraphMissingFile(t *testing.T) {
+	if _, err := loadGraph("/definitely/not/here.txt", "", 0, 0, 0, 0); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}

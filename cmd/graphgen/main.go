@@ -1,0 +1,64 @@
+// Command graphgen emits workload graphs in the plain edge-list interchange
+// format consumed by cmd/edgecolor ("n m" header, one "u v" per line).
+//
+// Usage:
+//
+//	graphgen -family regular -n 1024 -d 16 -seed 7 > g.txt
+//	graphgen -family geometric -n 500 -p 0.08 | edgecolor -alg bko
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/distec/distec"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "regular", "regular|bipartite|gnp|geometric|powerlaw|complete|cycle|grid|torus|hypercube|tree|barabasi|caterpillar")
+		n      = flag.Int("n", 256, "node count (or side length for grid/torus, dimension for hypercube)")
+		d      = flag.Int("d", 8, "degree parameter")
+		p      = flag.Float64("p", 0.05, "probability / radius for gnp and geometric")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var g *distec.Graph
+	switch *family {
+	case "regular":
+		g = distec.RandomRegular(*n, *d, *seed)
+	case "bipartite":
+		g = distec.RandomBipartiteRegular(*n/2, *d, *seed)
+	case "gnp":
+		g = distec.GNP(*n, *p, *seed)
+	case "geometric":
+		g = distec.RandomGeometric(*n, *p, *seed)
+	case "powerlaw":
+		g = distec.PowerLaw(*n, 2.5, *d, *seed)
+	case "complete":
+		g = distec.Complete(*n)
+	case "cycle":
+		g = distec.Cycle(*n)
+	case "grid":
+		g = distec.Grid(*n, *n)
+	case "torus":
+		g = distec.Torus(*n, *n)
+	case "hypercube":
+		g = distec.Hypercube(*n)
+	case "tree":
+		g = distec.RandomTree(*n, *seed)
+	case "barabasi":
+		g = distec.BarabasiAlbert(*n, *d, *seed)
+	case "caterpillar":
+		g = distec.Caterpillar(*n, *d)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown family %q\n", *family)
+		os.Exit(1)
+	}
+	if _, err := g.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}

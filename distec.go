@@ -1,0 +1,317 @@
+// Package distec is a deterministic distributed edge coloring library: a
+// complete implementation of "Distributed Edge Coloring in Time
+// Quasi-Polylogarithmic in Delta" (Balliu, Kuhn, Olivetti — PODC 2020) in
+// the LOCAL model, together with every substrate the paper builds on
+// (Linial's coloring, Cole–Vishkin reductions, defective edge colorings) and
+// the classical baselines it compares against.
+//
+// The unit of work is a Graph; algorithms color its edges so that edges
+// sharing an endpoint receive different colors. All algorithms are honest
+// synchronous message-passing programs: they can run on a deterministic
+// sequential engine or with one goroutine per network entity communicating
+// over channels, with identical results, and they report the number of
+// LOCAL rounds consumed.
+//
+// Quickstart:
+//
+//	g := distec.RandomRegular(1024, 16, 42)
+//	res, err := distec.ColorEdges(g, distec.Options{})
+//	// res.Colors[e] ∈ [0, 2Δ−1), res.Rounds = LOCAL rounds
+//
+// The headline algorithm (AlgorithmBKO) solves the harder
+// (deg(e)+1)-list edge coloring problem: see ColorEdgesList.
+package distec
+
+import (
+	"fmt"
+
+	"github.com/distec/distec/internal/core"
+	"github.com/distec/distec/internal/graph"
+	"github.com/distec/distec/internal/listcolor"
+	"github.com/distec/distec/internal/local"
+	"github.com/distec/distec/internal/pseudoforest"
+	"github.com/distec/distec/internal/randomized"
+	"github.com/distec/distec/internal/verify"
+	"github.com/distec/distec/internal/vertexcolor"
+)
+
+// Graph is an undirected simple graph; see NewGraph and the generators.
+type Graph = graph.Graph
+
+// EdgeID identifies an edge of a Graph in insertion order.
+type EdgeID = graph.EdgeID
+
+// NewGraph returns an empty graph on n nodes. Add edges with AddEdge.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Algorithm selects the coloring algorithm.
+type Algorithm string
+
+const (
+	// BKO is the paper's algorithm (Theorem 4.1) with the practical
+	// parameter preset: quasi-polylogarithmic-in-Δ round growth, solves
+	// (deg(e)+1)-list instances. This is the default.
+	BKO Algorithm = "bko"
+	// BKOTheory is the paper's algorithm with the paper's own constants
+	// (β = log⁴ Δ̄, p = √Δ̄). At feasible Δ̄ these provably reduce to the
+	// base case — see EXPERIMENTS.md E9 — but every lemma precondition is
+	// asserted at runtime.
+	BKOTheory Algorithm = "bko-theory"
+	// PR01 is the Panconesi–Rizzi-style O(Δ + log* n) pseudoforest
+	// baseline; also solves list instances.
+	PR01 Algorithm = "pr01"
+	// GreedyClasses is the trivial O(Δ̄² + log* n) baseline: Linial classes
+	// colored greedily one class per round.
+	GreedyClasses Algorithm = "greedy-classes"
+	// Randomized is the classic O(log n) randomized trials baseline
+	// [Lub86]; deterministic for a fixed Options.Seed.
+	Randomized Algorithm = "randomized"
+)
+
+// Engine selects how protocols execute.
+type Engine string
+
+const (
+	// Sequential runs entities in a deterministic loop (default; fastest).
+	Sequential Engine = "sequential"
+	// Goroutines runs one goroutine per entity with channel links and
+	// barrier-synchronized rounds. Results are identical to Sequential.
+	Goroutines Engine = "goroutines"
+)
+
+// Options configures a coloring run. The zero value selects BKO on the
+// sequential engine with palette 2Δ−1.
+type Options struct {
+	// Algorithm selects the solver (default BKO).
+	Algorithm Algorithm
+	// Engine selects the execution engine (default Sequential).
+	Engine Engine
+	// Palette overrides the palette size for ColorEdges (default 2Δ−1).
+	// Must be at least Δ̄+1 to keep the instance (deg(e)+1)-solvable.
+	Palette int
+	// Seed feeds the Randomized algorithm's simulated coin flips.
+	Seed uint64
+}
+
+// Result reports a coloring and its LOCAL-model cost.
+type Result struct {
+	// Colors maps EdgeID to the chosen color, −1 for inactive edges.
+	Colors []int
+	// Rounds is the number of synchronous LOCAL rounds consumed (edge-
+	// entity rounds; multiply by 2 and add O(1) for plain node rounds).
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// Palette is the palette size the instance was solved over.
+	Palette int
+	// ColorsUsed is the number of distinct colors in the output.
+	ColorsUsed int
+	// Diagnostics holds BKO instrumentation (nil for other algorithms).
+	Diagnostics *Diagnostics
+}
+
+// Diagnostics exposes the BKO solver's instrumentation counters; see the
+// paper mapping in DESIGN.md.
+type Diagnostics struct {
+	OuterSweeps    int   // Lemma 4.2 sweeps
+	DefectiveCalls int   // §4.1 defective colorings computed
+	ClassInstances int   // slack-β sub-instances solved
+	ChainLevels    int   // Lemma 4.3 applications
+	PhaseInstances int   // E(1) phase sub-colorings
+	Deferred       int   // practical-mode deferrals
+	SweepDegrees   []int // max uncolored degree per sweep (halving trace)
+	Eq2Worst       float64
+}
+
+func (o Options) runner() local.Runner {
+	if o.Engine == Goroutines {
+		return local.RunGoroutines
+	}
+	return local.RunSequential
+}
+
+// ColorEdges computes a proper edge coloring of g with palette
+// {0, …, Palette−1} (default 2Δ−1). All edges participate.
+func ColorEdges(g *Graph, opts Options) (*Result, error) {
+	c := opts.Palette
+	if c == 0 {
+		c = 2*g.MaxDegree() - 1
+		if c < 1 {
+			c = 1
+		}
+	}
+	if dbar := g.MaxEdgeDegree(); c <= dbar {
+		return nil, fmt.Errorf("distec: palette %d not greater than Δ̄=%d", c, dbar)
+	}
+	in := listcolor.NewUniform(g, c)
+	return colorInstance(g, in, opts)
+}
+
+// ColorEdgesList solves the (deg(e)+1)-list edge coloring problem: each
+// edge e must be colored from lists[e] (strictly ascending values in
+// [0, palette)), and |lists[e]| must exceed deg(e). This is the paper's
+// primary problem statement.
+func ColorEdgesList(g *Graph, lists [][]int, palette int, opts Options) (*Result, error) {
+	if len(lists) != g.M() {
+		return nil, fmt.Errorf("distec: %d lists for %d edges", len(lists), g.M())
+	}
+	active := make([]bool, g.M())
+	for e := range active {
+		active[e] = true
+	}
+	in := &listcolor.Instance{G: g, Active: active, Lists: lists, C: palette}
+	if err := in.Validate(1); err != nil {
+		return nil, err
+	}
+	return colorInstance(g, in, opts)
+}
+
+// ExtendColoring completes a partial edge coloring — the paper's motivating
+// use case for list coloring ([Bar15], §1). Edges with partial[e] ≥ 0 keep
+// their colors; every other edge is colored from lists[e] minus the colors
+// of its fixed neighbors. The pruned list must remain strictly larger than
+// the edge's uncolored conflict degree, which holds in particular whenever
+// |lists[e]| > deg(e) and the partial coloring is proper.
+func ExtendColoring(g *Graph, partial []int, lists [][]int, palette int, opts Options) (*Result, error) {
+	if len(partial) != g.M() || len(lists) != g.M() {
+		return nil, fmt.Errorf("distec: partial/lists sized %d/%d for %d edges", len(partial), len(lists), g.M())
+	}
+	// The fixed part must itself be proper.
+	for e := 0; e < g.M(); e++ {
+		if partial[e] < 0 {
+			continue
+		}
+		var conflict error
+		g.ForEachEdgeNeighbor(graph.EdgeID(e), func(f graph.EdgeID) {
+			if conflict == nil && partial[f] == partial[e] {
+				conflict = fmt.Errorf("distec: partial coloring improper at edges %d,%d (color %d)", e, f, partial[e])
+			}
+		})
+		if conflict != nil {
+			return nil, conflict
+		}
+	}
+	active := make([]bool, g.M())
+	pruned := make([][]int, g.M())
+	for e := 0; e < g.M(); e++ {
+		if partial[e] >= 0 {
+			continue
+		}
+		active[e] = true
+		used := make(map[int]bool)
+		g.ForEachEdgeNeighbor(graph.EdgeID(e), func(f graph.EdgeID) {
+			if partial[f] >= 0 {
+				used[partial[f]] = true
+			}
+		})
+		for _, c := range lists[e] {
+			if !used[c] {
+				pruned[e] = append(pruned[e], c)
+			}
+		}
+	}
+	in := &listcolor.Instance{G: g, Active: active, Lists: pruned, C: palette}
+	if err := in.Validate(1); err != nil {
+		return nil, err
+	}
+	res, err := colorInstance(g, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	for e := 0; e < g.M(); e++ {
+		if partial[e] >= 0 {
+			res.Colors[e] = partial[e]
+		}
+	}
+	res.ColorsUsed = verify.CountColors(res.Colors)
+	return res, nil
+}
+
+func colorInstance(g *Graph, in *listcolor.Instance, opts Options) (*Result, error) {
+	run := opts.runner()
+	var (
+		colors []int
+		stats  local.Stats
+		diag   *Diagnostics
+		err    error
+	)
+	switch opts.Algorithm {
+	case "", BKO, BKOTheory:
+		params := core.Practical()
+		if opts.Algorithm == BKOTheory {
+			params = core.Theory(1, 1)
+		}
+		var res *core.Result
+		res, err = core.SolveGraph(in, params, run)
+		if err == nil {
+			colors, stats = res.Colors, res.Stats
+			diag = &Diagnostics{
+				OuterSweeps:    res.Trace.OuterSweeps,
+				DefectiveCalls: res.Trace.DefectiveCalls,
+				ClassInstances: res.Trace.ClassInstances,
+				ChainLevels:    res.Trace.ChainLevels,
+				PhaseInstances: res.Trace.PhaseInstances,
+				Deferred:       res.Trace.Deferred,
+				SweepDegrees:   res.Trace.SweepDegrees,
+				Eq2Worst:       res.Trace.Eq2Worst,
+			}
+		}
+	case PR01:
+		colors, stats, err = pseudoforest.Solve(g, in.Active, in.Lists, run)
+	case GreedyClasses:
+		colors, stats, err = listcolor.SolveBase(in, nil, 0, run)
+	case Randomized:
+		colors, stats, err = randomized.Solve(g, in.Active, in.Lists, opts.Seed, run)
+	default:
+		return nil, fmt.Errorf("distec: unknown algorithm %q", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Colors:      colors,
+		Rounds:      stats.Rounds,
+		Messages:    stats.Messages,
+		Palette:     in.C,
+		ColorsUsed:  verify.CountColors(colors),
+		Diagnostics: diag,
+	}, nil
+}
+
+// ColorVertices computes a (Δ+1)-vertex coloring of g in O(Δ² + log* n)
+// rounds ([Lin87, SV93]). The paper frames (2Δ−1)-edge coloring as the
+// line-graph special case of this more general problem (§1); the vertex
+// variant is provided as classical context — its best known Δ-dependence is
+// still polynomial, which is exactly the gap the paper closes for edges.
+func ColorVertices(g *Graph, opts Options) (*Result, error) {
+	colors, stats, err := vertexcolor.Solve(g, opts.runner())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Colors:     colors,
+		Rounds:     stats.Rounds,
+		Messages:   stats.Messages,
+		Palette:    g.MaxDegree() + 1,
+		ColorsUsed: verify.CountColors(colors),
+	}, nil
+}
+
+// VerifyVertices checks that colors is a proper vertex coloring of g.
+func VerifyVertices(g *Graph, colors []int) error {
+	return vertexcolor.Verify(g, colors)
+}
+
+// Verify checks that colors is a proper edge coloring of g (every edge
+// colored, conflicting edges distinct).
+func Verify(g *Graph, colors []int) error {
+	return verify.EdgeColoring(g, nil, colors)
+}
+
+// VerifyList additionally checks that every edge's color belongs to its list.
+func VerifyList(g *Graph, lists [][]int, colors []int) error {
+	if err := verify.EdgeColoring(g, nil, colors); err != nil {
+		return err
+	}
+	return verify.ListRespecting(g, nil, lists, colors)
+}

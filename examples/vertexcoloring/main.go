@@ -1,0 +1,66 @@
+// Vertex coloring context: the paper frames (2Δ−1)-edge coloring as the
+// special case of (Δ+1)-VERTEX coloring on the line graph (§1), and its
+// contribution is that the edge case can now be solved in rounds
+// quasi-polylogarithmic in Δ while the vertex case remains polynomial
+// (O(√Δ·polylog Δ + log* n) is the best known, [FHK16, BEG18]).
+//
+// This example demonstrates the framing concretely:
+//
+//  1. a classical (Δ+1)-vertex coloring of a graph (frequency assignment to
+//     the NODES of an interference graph),
+//  2. the same vertex machinery run on the line graph = a (2Δ−1)-edge
+//     coloring, showing the two problems are literally the same code path,
+//  3. the paper's specialized edge algorithm on the same graph for contrast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/distec/distec"
+)
+
+func main() {
+	// An interference graph: transmitters within range conflict.
+	g := distec.RandomGeometric(300, 0.1, 17)
+	fmt.Printf("interference graph: %d transmitters, %d conflicts, Δ = %d\n",
+		g.N(), g.M(), g.MaxDegree())
+
+	// (1) Color the transmitters with Δ+1 frequencies.
+	vres, err := distec.ColorVertices(g, distec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := distec.VerifyVertices(g, vres.Colors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n(Δ+1)-vertex coloring: %d frequencies of %d, %d LOCAL rounds\n",
+		vres.ColorsUsed, vres.Palette, vres.Rounds)
+
+	// (2) The same classical machinery colors EDGES via the line graph
+	// (this is distec.GreedyClasses: Linial classes + greedy, O(Δ̄²+log*n)).
+	eres, err := distec.ColorEdges(g, distec.Options{Algorithm: distec.GreedyClasses})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := distec.Verify(g, eres.Colors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge coloring via line graph (vertex machinery): %d colors, %d rounds\n",
+		eres.ColorsUsed, eres.Rounds)
+
+	// (3) The paper's edge-specialized algorithm on the same instance.
+	bres, err := distec.ColorEdges(g, distec.Options{Algorithm: distec.BKO})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := distec.Verify(g, bres.Colors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge coloring via BKO (the paper):                %d colors, %d rounds\n",
+		bres.ColorsUsed, bres.Rounds)
+
+	fmt.Println("\nthe asymmetry the paper exploits: the edge problem has extra structure")
+	fmt.Println("(each conflict clique is one node's edge set), which the vertex problem lacks —")
+	fmt.Println("hence quasi-polylog-in-Δ for edges while vertices remain poly-in-Δ.")
+}

@@ -1,0 +1,68 @@
+package distec
+
+import "github.com/distec/distec/internal/graph"
+
+// The generators below construct the workload families used throughout the
+// examples and experiments. All randomized generators are deterministic for
+// a given seed.
+
+// Cycle returns the n-node cycle C_n (n ≥ 3).
+func Cycle(n int) *Graph { return graph.Cycle(n) }
+
+// Path returns the n-node path P_n.
+func Path(n int) *Graph { return graph.Path(n) }
+
+// Star returns the star K_{1,n−1} with center node 0.
+func Star(n int) *Graph { return graph.Star(n) }
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// CompleteBipartite returns K_{a,b} with parts {0..a−1} and {a..a+b−1}.
+func CompleteBipartite(a, b int) *Graph { return graph.CompleteBipartite(a, b) }
+
+// Grid returns the r×c grid graph.
+func Grid(r, c int) *Graph { return graph.Grid(r, c) }
+
+// Torus returns the r×c wrap-around grid (r, c ≥ 3).
+func Torus(r, c int) *Graph { return graph.Torus(r, c) }
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+func Hypercube(d int) *Graph { return graph.Hypercube(d) }
+
+// RandomRegular returns an exactly d-regular random graph on n nodes
+// (n·d even, d < n).
+func RandomRegular(n, d int, seed uint64) *Graph { return graph.RandomRegular(n, d, seed) }
+
+// RandomBipartiteRegular returns a bipartite d-regular graph on 2n nodes.
+func RandomBipartiteRegular(n, d int, seed uint64) *Graph {
+	return graph.RandomBipartiteRegular(n, d, seed)
+}
+
+// GNP returns an Erdős–Rényi G(n, p) sample.
+func GNP(n int, p float64, seed uint64) *Graph { return graph.GNP(n, p, seed) }
+
+// PowerLaw returns a Chung–Lu style power-law graph with exponent gamma and
+// maximum expected degree maxDeg.
+func PowerLaw(n int, gamma float64, maxDeg int, seed uint64) *Graph {
+	return graph.PowerLaw(n, gamma, maxDeg, seed)
+}
+
+// RandomGeometric returns a random geometric graph on n points in the unit
+// square with connection radius r — the standard wireless network model.
+func RandomGeometric(n int, r float64, seed uint64) *Graph {
+	return graph.RandomGeometric(n, r, seed)
+}
+
+// RandomTree returns a uniform random recursive tree on n nodes.
+func RandomTree(n int, seed uint64) *Graph { return graph.RandomTree(n, seed) }
+
+// Caterpillar returns a spine path with pendant legs per spine node.
+func Caterpillar(spine, legs int) *Graph { return graph.Caterpillar(spine, legs) }
+
+// CliqueChain returns k cliques of size s chained at shared nodes.
+func CliqueChain(k, s int) *Graph { return graph.CliqueChain(k, s) }
+
+// BarabasiAlbert returns a preferential-attachment graph: each arriving node
+// attaches to k existing nodes chosen proportionally to degree.
+func BarabasiAlbert(n, k int, seed uint64) *Graph { return graph.BarabasiAlbert(n, k, seed) }

@@ -1,0 +1,171 @@
+package distec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Integration tests: the public API end to end, across algorithms, graph
+// families, list shapes and engines.
+
+func TestExtendColoring(t *testing.T) {
+	g := Complete(10)
+	c := 2*g.MaxDegree() - 1
+	palette := make([]int, c)
+	for i := range palette {
+		palette[i] = i
+	}
+	lists := make([][]int, g.M())
+	for e := range lists {
+		lists[e] = palette
+	}
+	// Fix a valid partial coloring with PR01 on a subset... simplest: color
+	// everything, then erase half and re-extend.
+	full, err := ColorEdges(g, Options{Algorithm: PR01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := make([]int, g.M())
+	for e := range partial {
+		if e%2 == 0 {
+			partial[e] = full.Colors[e]
+		} else {
+			partial[e] = -1
+		}
+	}
+	res, err := ExtendColoring(g, partial, lists, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	for e := range partial {
+		if partial[e] >= 0 && res.Colors[e] != partial[e] {
+			t.Fatalf("fixed edge %d changed color %d -> %d", e, partial[e], res.Colors[e])
+		}
+	}
+}
+
+func TestExtendColoringRejectsImproperPartial(t *testing.T) {
+	g := Star(4)
+	partial := []int{3, 3, -1} // two conflicting fixed edges
+	lists := [][]int{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}
+	if _, err := ExtendColoring(g, partial, lists, 4, Options{}); err == nil {
+		t.Fatal("accepted improper partial coloring")
+	}
+}
+
+func TestExtendColoringAllFixed(t *testing.T) {
+	g := Path(4)
+	partial := []int{0, 1, 0}
+	lists := [][]int{{0}, {1}, {0}}
+	res, err := ExtendColoring(g, partial, lists, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, want := range partial {
+		if res.Colors[e] != want {
+			t.Fatalf("edge %d: %d, want %d", e, res.Colors[e], want)
+		}
+	}
+}
+
+// Cross-algorithm agreement: all deterministic algorithms must produce
+// valid colorings with the same palette on the same instance.
+func TestCrossAlgorithmMatrix(t *testing.T) {
+	graphs := map[string]*Graph{
+		"torus":       Torus(6, 6),
+		"hypercube":   Hypercube(5),
+		"cliquechain": CliqueChain(4, 6),
+		"caterpillar": Caterpillar(8, 4),
+		"geometric":   RandomGeometric(120, 0.15, 3),
+	}
+	algs := []Algorithm{BKO, PR01, GreedyClasses, Randomized}
+	for name, g := range graphs {
+		for _, alg := range algs {
+			t.Run(name+"/"+string(alg), func(t *testing.T) {
+				res, err := ColorEdges(g, Options{Algorithm: alg, Seed: 13})
+				if err != nil {
+					t.Fatalf("%v", err)
+				}
+				if err := Verify(g, res.Colors); err != nil {
+					t.Fatal(err)
+				}
+				if res.ColorsUsed > res.Palette {
+					t.Fatalf("used %d > palette %d", res.ColorsUsed, res.Palette)
+				}
+			})
+		}
+	}
+}
+
+// Property: for random instances, BKO and PR01 both solve, and round counts
+// are positive and finite.
+func TestPublicAPIProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := GNP(40, 0.12, seed)
+		if g.M() < 2 {
+			return true
+		}
+		for _, alg := range []Algorithm{BKO, PR01} {
+			res, err := ColorEdges(g, Options{Algorithm: alg})
+			if err != nil {
+				return false
+			}
+			if Verify(g, res.Colors) != nil || res.Rounds <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The BKO diagnostics must be self-consistent.
+func TestDiagnosticsConsistency(t *testing.T) {
+	g := RandomRegular(96, 12, 17)
+	res, err := ColorEdges(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Diagnostics
+	if d == nil {
+		t.Fatal("no diagnostics")
+	}
+	// SweepDegrees records every sweep iteration including the final
+	// base-case one, so it is OuterSweeps or OuterSweeps+1 entries.
+	if len(d.SweepDegrees) < d.OuterSweeps || len(d.SweepDegrees) > d.OuterSweeps+1 {
+		t.Fatalf("sweeps %d vs degree trace length %d", d.OuterSweeps, len(d.SweepDegrees))
+	}
+	if d.DefectiveCalls < d.OuterSweeps {
+		t.Fatalf("defective calls %d < sweeps %d", d.DefectiveCalls, d.OuterSweeps)
+	}
+	for i := 1; i < len(d.SweepDegrees); i++ {
+		if d.SweepDegrees[i] >= d.SweepDegrees[i-1] {
+			t.Fatalf("sweep degrees not decreasing: %v", d.SweepDegrees)
+		}
+	}
+}
+
+// Round monotonicity sanity across palette sizes: a larger palette can only
+// make the problem easier (never err), and colors stay within it.
+func TestPaletteSweep(t *testing.T) {
+	g := RandomRegular(64, 8, 23)
+	for _, c := range []int{g.MaxEdgeDegree() + 1, 2*g.MaxDegree() - 1, 4 * g.MaxDegree()} {
+		res, err := ColorEdges(g, Options{Palette: c})
+		if err != nil {
+			t.Fatalf("palette %d: %v", c, err)
+		}
+		if err := Verify(g, res.Colors); err != nil {
+			t.Fatalf("palette %d: %v", c, err)
+		}
+		for _, col := range res.Colors {
+			if col >= c {
+				t.Fatalf("palette %d: color %d escaped", c, col)
+			}
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteAll(&sb, Smoke); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E12", "E13", "E14"} {
+		if !strings.Contains(out, "### "+id+" ") {
+			t.Fatalf("missing table %s", id)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/distec/distec/internal/core"
+)
+
+func TestParseScale(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Scale
+		ok   bool
+	}{
+		{"smoke", Smoke, true},
+		{"standard", Standard, true},
+		{"", Standard, true},
+		{"FULL", Full, true},
+		{"huge", Smoke, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseScale(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseScale(%q) err=%v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseScale(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.Note("note %d", 7)
+	md := tbl.Markdown()
+	for _, want := range []string{"### EX — demo", "| a | b |", "| 1 | 2 |", "> note 7"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestFamiliesShapes(t *testing.T) {
+	ws := Families(128, 8, 3)
+	if len(ws) != 6 {
+		t.Fatalf("got %d families, want 6", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if w.G.N() == 0 {
+			t.Fatalf("family %s empty", w.Name)
+		}
+		if err := w.G.Validate(); err != nil {
+			t.Fatalf("family %s: %v", w.Name, err)
+		}
+		names[w.Name] = true
+	}
+	for _, want := range []string{"regular", "bipartite", "gnp", "powerlaw", "geometric", "tree"} {
+		if !names[want] {
+			t.Fatalf("missing family %s", want)
+		}
+	}
+}
+
+func TestCountStranded(t *testing.T) {
+	// Two conflicting items assigned the same subspace with 1-color lists:
+	// both stranded (|L'| = 1 ≤ deg' = 1).
+	pairs := [][2]int64{{0, 1}, {1, 2}}
+	lists := [][]int{{0}, {0}}
+	pt := core.MakePartition(4, 2)
+	assign := []int{0, 0}
+	if got := countStranded(pairs, lists, assign, pt); got != 2 {
+		t.Fatalf("stranded = %d, want 2", got)
+	}
+	// Different subspaces: no one stranded.
+	assign = []int{0, 1}
+	lists = [][]int{{0}, {2}}
+	if got := countStranded(pairs, lists, assign, pt); got != 0 {
+		t.Fatalf("stranded = %d, want 0", got)
+	}
+}

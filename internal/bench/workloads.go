@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"github.com/distec/distec/internal/graph"
+	"github.com/distec/distec/internal/listcolor"
+)
+
+// Workload is a named graph family instantiation used across experiments.
+type Workload struct {
+	Name string
+	G    *graph.Graph
+}
+
+// Families returns the standard six-family workload set at a given size
+// budget (n nodes, degree parameter d).
+func Families(n, d int, seed uint64) []Workload {
+	if d >= n {
+		d = n - 1
+	}
+	return []Workload{
+		{Name: "regular", G: graph.RandomRegular(n, d, seed)},
+		{Name: "bipartite", G: graph.RandomBipartiteRegular(n/2, min(d, n/2), seed)},
+		{Name: "gnp", G: graph.GNP(n, float64(d)/float64(n), seed)},
+		{Name: "powerlaw", G: graph.PowerLaw(n, 2.5, d, seed)},
+		{Name: "geometric", G: geometricWithDegree(n, d, seed)},
+		{Name: "tree", G: graph.RandomTree(n, seed)},
+	}
+}
+
+// geometricWithDegree picks a radius so the expected average degree is ~d.
+func geometricWithDegree(n, d int, seed uint64) *graph.Graph {
+	// Expected degree ≈ n·π·r²; solve for r.
+	r := 0.564 * sqrt(float64(d)/float64(n)) // sqrt(d/(nπ))
+	return graph.RandomGeometric(n, r, seed)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// uniform builds the (2Δ−1) uniform instance of a graph.
+func uniform(g *graph.Graph) *listcolor.Instance {
+	c := 2*g.MaxDegree() - 1
+	if c < 1 {
+		c = 1
+	}
+	return listcolor.NewUniform(g, c)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

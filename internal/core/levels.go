@@ -1,0 +1,151 @@
+package core
+
+import "math"
+
+// Partition describes the split of a palette interval of Size colors into Q
+// consecutive parts of PartSize colors each (the last part may be smaller),
+// as used by the list color space reduction (§4.2): "split the color palette
+// roughly into p parts C1, …, Cp, each of size at most C/p".
+type Partition struct {
+	Size     int // colors in the interval being split
+	PartSize int // ⌈Size/p⌉
+	Q        int // number of parts, ⌈Size/PartSize⌉ ≤ p
+}
+
+// MakePartition splits an interval of the given size by parameter p ≥ 2.
+func MakePartition(size, p int) Partition {
+	if size < 1 || p < 2 {
+		panic("core: MakePartition needs size ≥ 1 and p ≥ 2")
+	}
+	ps := (size + p - 1) / p
+	q := (size + ps - 1) / ps
+	return Partition{Size: size, PartSize: ps, Q: q}
+}
+
+// PartOf returns the part index of a color offset within the interval.
+func (pt Partition) PartOf(offset int) int { return offset / pt.PartSize }
+
+// PartBounds returns the half-open offset range [lo, hi) of part j.
+func (pt Partition) PartBounds(j int) (lo, hi int) {
+	lo = j * pt.PartSize
+	hi = lo + pt.PartSize
+	if hi > pt.Size {
+		hi = pt.Size
+	}
+	return lo, hi
+}
+
+// Counts returns, for a list of color offsets within the interval, the
+// intersection size with each part: counts[j] = |L ∩ Cj|.
+func (pt Partition) Counts(offsets []int) []int {
+	counts := make([]int, pt.Q)
+	for _, off := range offsets {
+		counts[pt.PartOf(off)]++
+	}
+	return counts
+}
+
+// Harmonic returns the q-th harmonic number H_q = Σ_{i=1..q} 1/i.
+func Harmonic(q int) float64 {
+	h := 0.0
+	for i := 1; i <= q; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// thresholdMet reports cnt ≥ listLen/(k·Hq), evaluated with a small relative
+// tolerance so borderline floating point cases err on the permissive side
+// (the guarantee consumers re-check sizes directly).
+func thresholdMet(cnt, listLen int, k float64, hq float64) bool {
+	return float64(cnt)*k*hq+1e-9 >= float64(listLen)
+}
+
+// BestK implements Lemma 4.4: it returns the smallest k ∈ {1, …, q} such
+// that at least k parts satisfy |L ∩ Cj| ≥ |L|/(k·H_q), together with the
+// part indices (the k largest intersections). The lemma guarantees such a k
+// exists for every non-empty list; ok is false only for empty lists.
+func BestK(counts []int, listLen int) (k int, indices []int, ok bool) {
+	if listLen <= 0 {
+		return 0, nil, false
+	}
+	q := len(counts)
+	hq := Harmonic(q)
+	// Order part indices by decreasing count (stable by index for
+	// determinism across engines).
+	order := sortedByCountDesc(counts)
+	for k = 1; k <= q; k++ {
+		// The k-th largest count must meet the level-k threshold; then all
+		// larger ones do too.
+		if thresholdMet(counts[order[k-1]], listLen, float64(k), hq) {
+			idx := append([]int(nil), order[:k]...)
+			return k, idx, true
+		}
+	}
+	return 0, nil, false
+}
+
+// Level returns the paper's level ℓ(e) ∈ {0, …, ⌊log₂ q⌋}: the largest ℓ for
+// which at least 2^ℓ parts j satisfy |L ∩ Cj| ≥ |L|/(2^{ℓ+1}·H_q). Existence
+// for ℓ = derived-from-Lemma-4.4 is guaranteed; ok is false only for empty
+// lists.
+func Level(counts []int, listLen int) (level int, ok bool) {
+	if listLen <= 0 {
+		return 0, false
+	}
+	q := len(counts)
+	hq := Harmonic(q)
+	maxL := int(math.Log2(float64(q)))
+	best, found := -1, false
+	for l := 0; l <= maxL; l++ {
+		need := 1 << l
+		have := 0
+		for _, c := range counts {
+			if thresholdMet(c, listLen, float64(int(1)<<(l+1)), hq) {
+				have++
+			}
+		}
+		if have >= need {
+			best, found = l, true
+		}
+	}
+	if !found {
+		// Lemma 4.4 rules this out: with k from BestK, ℓ = ⌊log₂ k⌋ always
+		// qualifies. Treated as an internal error by callers.
+		return 0, false
+	}
+	return best, true
+}
+
+// LevelCandidates returns the part indices meeting the level-ℓ threshold
+// |L ∩ Cj| ≥ |L|/(2^{ℓ+1}·H_q), in decreasing-count order.
+func LevelCandidates(counts []int, listLen, level int) []int {
+	hq := Harmonic(len(counts))
+	order := sortedByCountDesc(counts)
+	var out []int
+	for _, j := range order {
+		if thresholdMet(counts[j], listLen, float64(int(1)<<(level+1)), hq) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// sortedByCountDesc returns part indices ordered by decreasing count,
+// breaking ties by ascending index (deterministic).
+func sortedByCountDesc(counts []int) []int {
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: q is small (≤ 2p) and this avoids allocation churn.
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && (counts[order[j]] > counts[order[j-1]] ||
+			(counts[order[j]] == counts[order[j-1]] && order[j] < order[j-1])) {
+			order[j], order[j-1] = order[j-1], order[j]
+			j--
+		}
+	}
+	return order
+}

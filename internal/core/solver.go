@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/distec/distec/internal/defective"
+	"github.com/distec/distec/internal/listcolor"
+	"github.com/distec/distec/internal/local"
+)
+
+// instance is a working list coloring instance over a pair system. The item
+// universe is shared across the whole recursion; active masks select
+// participants.
+type instance struct {
+	pairs  [][2]int64
+	active []bool
+	lists  [][]int
+	c      int // palette size: list colors lie in [0, c)
+}
+
+// Solver executes the paper's algorithm with fixed parameters over one item
+// universe. It is created per Solve call and is not safe for concurrent use.
+type Solver struct {
+	params   Params
+	run      local.Runner
+	baseCols []int // proper O(Δ̄²)-coloring of the full active conflict system
+	baseX    int
+	trace    *Trace
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	// Colors maps item index to its chosen color (−1 for inactive items).
+	Colors []int
+	// Stats is the total LOCAL cost, sequentially composed across the whole
+	// recursion (independent same-level sub-instances execute simultaneously
+	// and are charged once by construction: they are solved in a single
+	// combined system).
+	Stats local.Stats
+	// Trace holds instrumentation counters.
+	Trace Trace
+}
+
+// Solve runs the full algorithm of Theorem 4.1 on a pair system: item i
+// occupies side keys pairs[i], conflicting items must receive different
+// colors, and each active item must be colored from its list. Every active
+// item's list must be strictly larger than its active conflict degree (the
+// (deg(e)+1)-list edge coloring condition); C is the palette size.
+//
+// The returned coloring always covers every active item: in practical mode
+// deferrals are retried by the enclosing sweeps and the final base solve is
+// guaranteed by the invariant that coloring a neighbor removes at most one
+// list color while reducing the uncolored degree by exactly one.
+func Solve(pairs [][2]int64, active []bool, lists [][]int, c int, params Params, run local.Runner) (*Result, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if run == nil {
+		run = local.RunSequential
+	}
+	m := len(pairs)
+	if active == nil {
+		active = make([]bool, m)
+		for i := range active {
+			active[i] = true
+		}
+	}
+	if len(lists) != m || len(active) != m {
+		return nil, fmt.Errorf("core: lists/active sized %d/%d for %d items", len(lists), len(active), m)
+	}
+	deg := activeDegrees(pairs, active, nil)
+	for e := 0; e < m; e++ {
+		if !active[e] {
+			continue
+		}
+		l := lists[e]
+		if len(l) <= deg[e] {
+			return nil, fmt.Errorf("core: item %d violates (deg+1)-list condition: |L|=%d, deg=%d", e, len(l), deg[e])
+		}
+		for i, col := range l {
+			if col < 0 || col >= c {
+				return nil, fmt.Errorf("core: item %d color %d outside palette [0,%d)", e, col, c)
+			}
+			if i > 0 && l[i-1] >= col {
+				return nil, fmt.Errorf("core: item %d list not strictly ascending", e)
+			}
+		}
+	}
+
+	s := &Solver{params: params, run: run, trace: &Trace{}}
+	var stats local.Stats
+
+	// Theorem 4.1 preamble: one O(log* n) Linial pass computes the global
+	// O(Δ̄²)-coloring handed to every subsequent subroutine as its initial
+	// coloring, so log* is paid exactly once.
+	st, err := s.prepare(pairs, active)
+	seq(&stats, st)
+	if err != nil {
+		return nil, err
+	}
+
+	inst := instance{pairs: pairs, active: active, lists: lists, c: c}
+	colors, st, err := s.solveSlack1(inst, 0)
+	seq(&stats, st)
+	if err != nil {
+		return nil, err
+	}
+	// Output contract: every active item colored from its list, no two
+	// conflicting items sharing a color. O(Σdeg) — negligible next to the
+	// solve itself, and it turns any internal bug into an error rather than
+	// a silently wrong coloring.
+	sideIdx := buildSideIndex(pairs, active)
+	for e := 0; e < m; e++ {
+		if !active[e] {
+			continue
+		}
+		if colors[e] < 0 {
+			return nil, fmt.Errorf("core: item %d left uncolored (bug)", e)
+		}
+		if !containsSorted(lists[e], colors[e]) {
+			return nil, fmt.Errorf("core: item %d color %d not in its list (bug)", e, colors[e])
+		}
+		var clash error
+		forEachNeighbor(pairs, sideIdx, e, func(f int) {
+			if clash == nil && colors[f] == colors[e] {
+				clash = fmt.Errorf("core: items %d and %d share color %d (bug)", e, f, colors[e])
+			}
+		})
+		if clash != nil {
+			return nil, clash
+		}
+	}
+	return &Result{Colors: colors, Stats: stats, Trace: *s.trace}, nil
+}
+
+// containsSorted reports whether ascending list l contains x.
+func containsSorted(l []int, x int) bool {
+	i := sort.SearchInts(l, x)
+	return i < len(l) && l[i] == x
+}
+
+// solveSlack1 implements Lemma 4.2, T(Δ̄, 1, C): sweeps of defective
+// coloring with parameter β, iterating over the O(β²) defect classes,
+// marking edges whose pruned list exceeds half their degree, solving each
+// marked class as a slack-β instance, and recursing on the uncolored
+// remainder (whose conflict degree provably halves per sweep).
+func (s *Solver) solveSlack1(inst instance, depth int) ([]int, local.Stats, error) {
+	if depth > s.trace.DeepestRecursion {
+		s.trace.DeepestRecursion = depth
+	}
+	m := len(inst.pairs)
+	colors := make([]int, m)
+	for e := range colors {
+		colors[e] = -1
+	}
+	cur := append([]bool(nil), inst.active...)
+	sideIdxAll := buildSideIndex(inst.pairs, inst.active)
+	var stats local.Stats
+
+	for sweep := 0; anyActive(cur); sweep++ {
+		dbar := maxActiveDegree(inst.pairs, cur)
+		if depth == 0 {
+			s.trace.SweepDegrees = append(s.trace.SweepDegrees, dbar)
+		}
+		beta := max(1, s.params.Beta(dbar, inst.c))
+		if dbar <= s.params.BaseDegree || 2*beta >= dbar || sweep >= 64 {
+			// Base cases: constant degree (the paper's T(O(1),·,·)), or a β
+			// so large that the slack machinery cannot gain (for feasible Δ̄
+			// the theory parameterization always lands here — experiment E9),
+			// or the sweep guard (practical-mode stall safety).
+			if 2*beta >= dbar && dbar > s.params.BaseDegree {
+				s.trace.BetaBailouts++
+			}
+			st, err := s.finishBase(inst, cur, colors, sideIdxAll)
+			seq(&stats, st)
+			if err != nil {
+				return nil, stats, err
+			}
+			break
+		}
+		s.trace.OuterSweeps++
+
+		def, err := defective.Color(inst.pairs, cur, beta, s.baseCols, s.baseX, s.run)
+		if err != nil {
+			return nil, stats, err
+		}
+		seq(&stats, def.Stats)
+		s.trace.DefectiveCalls++
+
+		degSnap := activeDegrees(inst.pairs, cur, nil)
+		colored := 0
+		for class := 0; class < def.Palette; class++ {
+			var members []int
+			for e := 0; e < m; e++ {
+				if cur[e] && def.Colors[e] == class {
+					members = append(members, e)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			// One round: members learn colors already used next to them,
+			// prune their lists, and mark themselves active if more than
+			// half their (sweep-start) degree remains available.
+			stats.Rounds++
+			subActive := make([]bool, m)
+			subLists := make([][]int, m)
+			marked := 0
+			for _, e := range members {
+				pruned := s.prunedList(inst, colors, sideIdxAll, e)
+				if 2*len(pruned) > degSnap[e] {
+					subActive[e] = true
+					subLists[e] = pruned
+					marked++
+				}
+			}
+			if marked == 0 {
+				continue
+			}
+			if s.params.Strict {
+				// Lemma 4.2's slack guarantee for the class instance:
+				// |Le| > β · deg_sub(e).
+				subDeg := activeDegrees(inst.pairs, subActive, nil)
+				for _, e := range members {
+					if subActive[e] && len(subLists[e]) <= beta*subDeg[e] {
+						return nil, stats, fmt.Errorf("core: class %d item %d has |L|=%d ≤ β·deg'=%d·%d (Lemma 4.2 violated)",
+							class, e, len(subLists[e]), beta, subDeg[e])
+					}
+				}
+			}
+			subInst := instance{pairs: inst.pairs, active: subActive, lists: subLists, c: inst.c}
+			subColors, st, err := s.solveSlackS(subInst, depth)
+			seq(&stats, st)
+			if err != nil {
+				return nil, stats, err
+			}
+			s.trace.ClassInstances++
+			for _, e := range members {
+				if subActive[e] && subColors[e] >= 0 {
+					colors[e] = subColors[e]
+					cur[e] = false
+					colored++
+				}
+			}
+		}
+		if colored == 0 {
+			// Practical-mode stall: every marked edge was deferred. The
+			// global invariant keeps the remainder base-solvable.
+			st, err := s.finishBase(inst, cur, colors, sideIdxAll)
+			seq(&stats, st)
+			if err != nil {
+				return nil, stats, err
+			}
+			break
+		}
+	}
+	return colors, stats, nil
+}
+
+// finishBase colors every remaining edge with the base solver after pruning
+// lists against the colors already assigned in this scope.
+func (s *Solver) finishBase(inst instance, cur []bool, colors []int, sideIdxAll map[int64][]int32) (local.Stats, error) {
+	var stats local.Stats
+	if !anyActive(cur) {
+		return stats, nil
+	}
+	m := len(inst.pairs)
+	lists := make([][]int, m)
+	for e := 0; e < m; e++ {
+		if cur[e] {
+			lists[e] = s.prunedList(inst, colors, sideIdxAll, e)
+		}
+	}
+	stats.Rounds++ // learning the neighbors' colors for the pruning
+	got, st, err := listcolor.SolvePairs(inst.pairs, cur, lists, s.baseCols, s.baseX, s.run)
+	seq(&stats, st)
+	if err != nil {
+		return stats, fmt.Errorf("core: base solve of remainder: %w", err)
+	}
+	for e := 0; e < m; e++ {
+		if cur[e] {
+			colors[e] = got[e]
+			cur[e] = false
+		}
+	}
+	return stats, nil
+}
+
+// prunedList returns item e's list minus the colors of its already-colored
+// neighbors in the instance (information one announcement round away).
+func (s *Solver) prunedList(inst instance, colors []int, sideIdxAll map[int64][]int32, e int) []int {
+	var used map[int]bool
+	forEachNeighbor(inst.pairs, sideIdxAll, e, func(f int) {
+		if colors[f] >= 0 {
+			if used == nil {
+				used = make(map[int]bool)
+			}
+			used[colors[f]] = true
+		}
+	})
+	if used == nil {
+		return inst.lists[e]
+	}
+	out := make([]int, 0, len(inst.lists[e]))
+	for _, c := range inst.lists[e] {
+		if !used[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// solveSlackS implements Lemma 4.5, T(Δ̄, S, C): chain color space
+// reductions (Lemma 4.3) until the palette is at most StopPalette, then
+// solve all surviving sub-instances — they live on disjoint palettes and
+// disjoint derived key spaces, so one combined base solve covers them all
+// simultaneously.
+func (s *Solver) solveSlackS(inst instance, depth int) ([]int, local.Stats, error) {
+	m := len(inst.pairs)
+	var stats local.Stats
+	pairsCur := append([][2]int64(nil), inst.pairs...)
+	active := append([]bool(nil), inst.active...)
+	lists := append([][]int(nil), inst.lists...)
+	lo := make([]int, m)
+	size := inst.c
+
+	for size > s.params.StopPalette && anyActive(active) {
+		dbar := maxActiveDegree(pairsCur, active)
+		p := s.params.P(dbar, inst.c)
+		p = max(2, min(p, size))
+		res, err := s.assignSubspaces(assignInput{
+			pairs: pairsCur, active: active, lists: lists, lo: lo,
+			size: size, p: p, depth: depth,
+		})
+		seq(&stats, res.stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		s.trace.ChainLevels++
+
+		// Refine: keys, intervals and lists follow the chosen subspace.
+		intern := make(map[[2]int64]int64)
+		derive := func(key int64, j int) int64 {
+			k := [2]int64{key, int64(j)}
+			id, ok := intern[k]
+			if !ok {
+				id = int64(len(intern))
+				intern[k] = id
+			}
+			return id
+		}
+		for e := 0; e < m; e++ {
+			if !active[e] {
+				continue
+			}
+			j := res.assign[e]
+			if j < 0 {
+				if s.params.Strict {
+					return nil, stats, fmt.Errorf("core: item %d unassigned in strict mode (bug)", e)
+				}
+				active[e] = false // deferred to the enclosing sweep
+				continue
+			}
+			partLo := lo[e] + j*res.pt.PartSize
+			partHi := partLo + res.pt.PartSize
+			iLo := sort.SearchInts(lists[e], partLo)
+			iHi := sort.SearchInts(lists[e], partHi)
+			lists[e] = lists[e][iLo:iHi]
+			lo[e] = partLo
+			pairsCur[e] = [2]int64{derive(pairsCur[e][0], j), derive(pairsCur[e][1], j)}
+		}
+		size = res.pt.PartSize
+	}
+
+	// Drop items whose slack budget ran out (never in strict mode), then
+	// run the combined base solve.
+	for {
+		deg := activeDegrees(pairsCur, active, nil)
+		changed := false
+		for e := 0; e < m; e++ {
+			if active[e] && len(lists[e]) <= deg[e] {
+				if s.params.Strict {
+					return nil, stats, fmt.Errorf("core: chain end item %d has |L|=%d ≤ deg=%d (slack budget exhausted in strict mode)",
+						e, len(lists[e]), deg[e])
+				}
+				active[e] = false
+				s.trace.Deferred++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if !anyActive(active) {
+		out := make([]int, m)
+		for e := range out {
+			out[e] = -1
+		}
+		return out, stats, nil
+	}
+	out, st, err := listcolor.SolvePairs(pairsCur, active, lists, s.baseCols, s.baseX, s.run)
+	seq(&stats, st)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: chain-end base solve: %w", err)
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/distec/distec/internal/listcolor"
+	"github.com/distec/distec/internal/local"
+)
+
+// assignInput is one invocation of the list color space reduction
+// (Lemma 4.3) over the current conflict system. Each active item owns a
+// palette interval [lo[i], lo[i]+size) — items sharing a side key always
+// share an interval, because the Lemma 4.5 chain refines side keys and
+// intervals together — and a list of absolute colors inside its interval.
+type assignInput struct {
+	pairs  [][2]int64
+	active []bool
+	lists  [][]int
+	lo     []int
+	size   int
+	p      int
+	depth  int
+}
+
+// assignResult carries the chosen subspace index per item (−1 for inactive
+// or deferred items), the partition used, and the LOCAL cost.
+type assignResult struct {
+	assign []int
+	pt     Partition
+	stats  local.Stats
+}
+
+// assignSubspaces implements Lemma 4.3: assign one of the q ≤ 2p palette
+// subspaces to every active item so that Eq. (2) holds —
+// deg′(e) ≤ 24·H_q·log p · |L′e|/|Le| · deg(e) — in
+// (log p)·(1 + T(2p−1, 1, 2p)) rounds.
+func (s *Solver) assignSubspaces(in assignInput) (assignResult, error) {
+	m := len(in.pairs)
+	pt := MakePartition(in.size, in.p)
+	q := pt.Q
+	res := assignResult{assign: make([]int, m), pt: pt}
+	for i := range res.assign {
+		res.assign[i] = -1
+	}
+
+	// Side index and active degrees of the current system.
+	sideIdx := buildSideIndex(in.pairs, in.active)
+	deg := activeDegrees(in.pairs, in.active, sideIdx)
+
+	// Per-item partition counts and levels (all local computation).
+	counts := make([][]int, m)
+	level := make([]int, m)
+	maxLevel := int(math.Log2(float64(q)))
+	for e := 0; e < m; e++ {
+		if !in.active[e] {
+			continue
+		}
+		offsets := make([]int, len(in.lists[e]))
+		for i, c := range in.lists[e] {
+			offsets[i] = c - in.lo[e]
+			if offsets[i] < 0 || offsets[i] >= in.size {
+				return res, fmt.Errorf("core: item %d color %d outside its interval [%d,%d)", e, c, in.lo[e], in.lo[e]+in.size)
+			}
+		}
+		counts[e] = pt.Counts(offsets)
+		l, ok := Level(counts[e], len(in.lists[e]))
+		if !ok {
+			return res, fmt.Errorf("core: item %d has no level (Lemma 4.4 violated — bug)", e)
+		}
+		level[e] = l
+		if l < len(s.trace.LevelHistogram) {
+			s.trace.LevelHistogram[l]++
+		}
+	}
+
+	// Ablation mode (experiment E13): every item takes the subspace with
+	// the largest intersection; no phases, no Eq. (2) guarantee (the audit
+	// below still measures the damage, but never asserts).
+	if s.params.DirectAssignment {
+		for e := 0; e < m; e++ {
+			if in.active[e] {
+				res.assign[e] = sortedByCountDesc(counts[e])[0]
+				s.trace.DirectAssigns++
+			}
+		}
+		res.stats.Rounds++ // announcing the choice
+		return res, s.auditEq2(in, res, counts, deg, sideIdx, false)
+	}
+
+	// Levels ≤ 3: pick the largest intersection directly. Even if every
+	// neighbor chose the same subspace, |L′| ≥ |L|/(16·H_q) satisfies
+	// Eq. (2). One announcement round, charged at the end alongside the
+	// phase schedule.
+	for e := 0; e < m; e++ {
+		if in.active[e] && level[e] <= 3 {
+			res.assign[e] = sortedByCountDesc(counts[e])[0]
+			s.trace.DirectAssigns++
+		}
+	}
+	res.stats.Rounds++ // announce direct assignments
+
+	// E(1): level > 3 and deg ≥ 2^level, processed in phases ℓ = 4..⌊log q⌋.
+	// E(2): level > 3 and deg < 2^level, processed after all phases.
+	for l := 4; l <= maxLevel; l++ {
+		var members []int
+		for e := 0; e < m; e++ {
+			if in.active[e] && level[e] == l && deg[e] >= 1<<l {
+				members = append(members, e)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		st, err := s.runPhase(in, res.assign, counts, deg, sideIdx, members, l)
+		seq(&res.stats, st)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	// E(2).
+	var e2 []int
+	for e := 0; e < m; e++ {
+		if in.active[e] && level[e] > 3 && deg[e] < 1<<level[e] {
+			e2 = append(e2, e)
+		}
+	}
+	if len(e2) > 0 {
+		st, err := s.runE2(in, res.assign, counts, level, sideIdx, e2)
+		seq(&res.stats, st)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	// Eq. (2) audit: measure the worst degradation factor and, in strict
+	// mode, assert the paper's bound.
+	return res, s.auditEq2(in, res, counts, deg, sideIdx, s.params.Strict)
+}
+
+// auditEq2 measures the Eq. (2) degradation factor of every assigned item
+// and, when assert is set, errors if the paper's bound
+// 24·H_q·log p · |L′e|/|Le| is exceeded.
+func (s *Solver) auditEq2(in assignInput, res assignResult, counts [][]int, deg []int, sideIdx map[int64][]int32, assert bool) error {
+	bound := 24 * Harmonic(res.pt.Q) * math.Max(1, math.Log2(float64(in.p)))
+	for e := range in.pairs {
+		if !in.active[e] || res.assign[e] < 0 || deg[e] == 0 {
+			continue
+		}
+		degPrime := 0
+		forEachNeighbor(in.pairs, sideIdx, e, func(f int) {
+			if res.assign[f] == res.assign[e] {
+				degPrime++
+			}
+		})
+		newLen := counts[e][res.assign[e]]
+		if newLen == 0 {
+			return fmt.Errorf("core: item %d assigned empty subspace %d (bug)", e, res.assign[e])
+		}
+		factor := float64(degPrime) * float64(len(in.lists[e])) / (float64(newLen) * float64(deg[e]))
+		if factor > s.trace.Eq2Worst {
+			s.trace.Eq2Worst = factor
+		}
+		if assert && factor > bound+1e-9 {
+			return fmt.Errorf("core: Eq.(2) violated at item %d: factor %.3f > bound %.3f (deg=%d deg'=%d |L|=%d |L'|=%d q=%d p=%d)",
+				e, factor, bound, deg[e], degPrime, len(in.lists[e]), newLen, res.pt.Q, in.p)
+		}
+	}
+	return nil
+}
+
+// runPhase executes phase ℓ of the E(1) machinery: compute Je for every
+// member, split nodes into virtual copies of ≤ 2^(ℓ−2) phase edges, and
+// solve the (deg(e)+1)-list coloring on the virtual graph with palette q.
+func (s *Solver) runPhase(in assignInput, assign []int, counts [][]int, deg []int, sideIdx map[int64][]int32, members []int, l int) (local.Stats, error) {
+	var stats local.Stats
+	stats.Rounds++ // learn neighbors' prior assignments (Je determination)
+	s.trace.PhaseInstances++
+
+	isMember := make(map[int]bool, len(members))
+	for _, e := range members {
+		isMember[e] = true
+	}
+
+	// Je: candidate subspaces with large intersection and few prior takers.
+	je := make(map[int][]int, len(members))
+	for _, e := range members {
+		takers := make([]int, len(counts[e]))
+		forEachNeighbor(in.pairs, sideIdx, e, func(f int) {
+			if assign[f] >= 0 {
+				takers[assign[f]]++
+			}
+		})
+		cands := LevelCandidates(counts[e], len(in.lists[e]), l)
+		budget := deg[e] / (1 << (l - 1))
+		var keep []int
+		for _, j := range cands {
+			if takers[j] <= budget {
+				keep = append(keep, j)
+			}
+		}
+		sort.Ints(keep)
+		if s.params.Strict && len(keep) < 1<<(l-1) {
+			return stats, fmt.Errorf("core: phase %d item %d has |Je|=%d < 2^(ℓ−1)=%d (Lemma 4.3 bookkeeping violated)",
+				l, e, len(keep), 1<<(l-1))
+		}
+		je[e] = keep
+	}
+
+	// Virtual graph: each side key splits its phase members into groups of
+	// at most 2^(ℓ−2); the virtual line-graph degree is ≤ 2^(ℓ−1)−2.
+	groupSize := 1 << (l - 2)
+	virtualPairs, active := buildVirtualPairs(in.pairs, sideIdx, isMember, groupSize, len(in.pairs))
+
+	// The assignment instance: lists are the Je sets over palette {0..q−1}.
+	lists := make([][]int, len(in.pairs))
+	for _, e := range members {
+		lists[e] = je[e]
+	}
+	vdeg := activeDegrees(virtualPairs, active, nil)
+	for _, e := range members {
+		if vdeg[e] > (1<<(l-1))-2 {
+			return stats, fmt.Errorf("core: phase %d virtual degree %d exceeds 2^(ℓ−1)−2=%d (bug)", l, vdeg[e], (1<<(l-1))-2)
+		}
+		if len(je[e]) <= vdeg[e] {
+			if s.params.Strict {
+				return stats, fmt.Errorf("core: phase %d item %d: |Je|=%d ≤ virtual degree %d", l, e, len(je[e]), vdeg[e])
+			}
+			// Practical mode: defer this item; shrink its footprint.
+			s.trace.Deferred++
+			active[e] = false
+			isMember[e] = false
+		}
+	}
+
+	choice, st, err := s.solveVirtual(instance{pairs: virtualPairs, active: active, lists: lists, c: MakePartition(in.size, in.p).Q}, in.depth)
+	seq(&stats, st)
+	if err != nil {
+		return stats, err
+	}
+	for _, e := range members {
+		if isMember[e] && choice[e] >= 0 {
+			assign[e] = choice[e]
+		} else if isMember[e] {
+			s.trace.Deferred++
+		}
+	}
+	return stats, nil
+}
+
+// runE2 assigns subspaces to the low-degree, high-level items after all
+// phases: each picks among its > deg(e) non-empty candidate subspaces one
+// that no already-assigned neighbor took, via a (deg+1)-list coloring over
+// the E(2) subsystem with palette q.
+func (s *Solver) runE2(in assignInput, assign []int, counts [][]int, level []int, sideIdx map[int64][]int32, e2 []int) (local.Stats, error) {
+	var stats local.Stats
+	stats.Rounds++ // learn the subspaces taken by assigned neighbors
+	s.trace.E2Instances++
+
+	m := len(in.pairs)
+	active := make([]bool, m)
+	lists := make([][]int, m)
+	inE2 := make(map[int]bool, len(e2))
+	for _, e := range e2 {
+		inE2[e] = true
+	}
+	for {
+		changed := false
+		for _, e := range e2 {
+			if !inE2[e] {
+				continue
+			}
+			taken := make([]bool, len(counts[e]))
+			degE2 := 0
+			forEachNeighbor(in.pairs, sideIdx, e, func(f int) {
+				if assign[f] >= 0 {
+					taken[assign[f]] = true
+				} else if inE2[f] {
+					degE2++
+				}
+			})
+			var free []int
+			for _, j := range LevelCandidates(counts[e], len(in.lists[e]), level[e]) {
+				if !taken[j] {
+					free = append(free, j)
+				}
+			}
+			sort.Ints(free)
+			if len(free) <= degE2 {
+				if s.params.Strict {
+					return stats, fmt.Errorf("core: E(2) item %d has %d free subspaces for E2-degree %d", e, len(free), degE2)
+				}
+				s.trace.Deferred++
+				inE2[e] = false // defer: removing it can only help others
+				changed = true
+				continue
+			}
+			active[e] = true
+			lists[e] = free
+		}
+		if !changed {
+			break
+		}
+		for e := range active {
+			active[e] = false
+		}
+	}
+	for _, e := range e2 {
+		if inE2[e] {
+			active[e] = true
+		}
+	}
+	if !anyActive(active) {
+		return stats, nil
+	}
+	choice, st, err := listcolor.SolvePairs(in.pairs, active, lists, s.baseCols, s.baseX, s.run)
+	seq(&stats, st)
+	if err != nil {
+		return stats, fmt.Errorf("core: E(2) assignment: %w", err)
+	}
+	for _, e := range e2 {
+		if active[e] && choice[e] >= 0 {
+			assign[e] = choice[e]
+		}
+	}
+	return stats, nil
+}
+
+// solveVirtual solves the T(2p−1, 1, 2p)-style sub-instance arising inside
+// the space reduction. Large instances recurse into the full algorithm
+// (realizing the Δ̄ → 2√Δ̄ outer recursion of §4.3); small ones go to the
+// base solver.
+func (s *Solver) solveVirtual(inst instance, depth int) ([]int, local.Stats, error) {
+	dbar := maxActiveDegree(inst.pairs, inst.active)
+	if dbar > s.params.BaseDegree && depth+1 < s.params.MaxDepth {
+		s.trace.VirtualRecursion++
+		return s.solveSlack1(inst, depth+1)
+	}
+	return listcolor.SolvePairs(inst.pairs, inst.active, inst.lists, s.baseCols, s.baseX, s.run)
+}
+
+// buildVirtualPairs splits every side key into virtual copies holding at
+// most groupSize phase members each (Figure 6), returning the virtual pair
+// system over the same item universe and the membership mask.
+func buildVirtualPairs(pairs [][2]int64, sideIdx map[int64][]int32, isMember map[int]bool, groupSize, m int) ([][2]int64, []bool) {
+	virtual := make([][2]int64, m)
+	active := make([]bool, m)
+	intern := make(map[[2]int64]int64)
+	derive := func(key int64, group int) int64 {
+		k := [2]int64{key, int64(group)}
+		id, ok := intern[k]
+		if !ok {
+			id = int64(len(intern))
+			intern[k] = id
+		}
+		return id
+	}
+	for key, items := range sideIdx {
+		rank := 0
+		for _, it := range items {
+			e := int(it)
+			if !isMember[e] {
+				continue
+			}
+			vk := derive(key, rank/groupSize)
+			if pairs[e][0] == key {
+				virtual[e][0] = vk
+			} else {
+				virtual[e][1] = vk
+			}
+			rank++
+		}
+	}
+	for e := range virtual {
+		if isMember[e] {
+			active[e] = true
+		}
+	}
+	return virtual, active
+}
+
+// buildSideIndex returns the side-key incidence lists of the active items.
+func buildSideIndex(pairs [][2]int64, active []bool) map[int64][]int32 {
+	idx := make(map[int64][]int32)
+	for e, pr := range pairs {
+		if active == nil || active[e] {
+			idx[pr[0]] = append(idx[pr[0]], int32(e))
+			idx[pr[1]] = append(idx[pr[1]], int32(e))
+		}
+	}
+	return idx
+}
+
+// activeDegrees returns each active item's conflict degree within the
+// active subsystem. sideIdx may be nil to compute it internally.
+func activeDegrees(pairs [][2]int64, active []bool, sideIdx map[int64][]int32) []int {
+	if sideIdx == nil {
+		sideIdx = buildSideIndex(pairs, active)
+	}
+	deg := make([]int, len(pairs))
+	for e, pr := range pairs {
+		if active == nil || active[e] {
+			deg[e] = len(sideIdx[pr[0]]) + len(sideIdx[pr[1]]) - 2
+		}
+	}
+	return deg
+}
+
+// forEachNeighbor calls fn for every active item sharing a side key with e
+// (an item adjacent via both keys is visited twice, matching multi-links).
+func forEachNeighbor(pairs [][2]int64, sideIdx map[int64][]int32, e int, fn func(f int)) {
+	for _, key := range pairs[e] {
+		for _, it := range sideIdx[key] {
+			if int(it) != e {
+				fn(int(it))
+			}
+		}
+	}
+}
+
+func maxActiveDegree(pairs [][2]int64, active []bool) int {
+	d := 0
+	for _, x := range activeDegrees(pairs, active, nil) {
+		if x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func anyActive(active []bool) bool {
+	for _, a := range active {
+		if a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+// Package gf provides the small finite-field toolkit behind Linial's
+// cover-free-family color reduction: primality testing, next-prime search,
+// base-q digit decomposition of color values, and polynomial evaluation over
+// GF(q) for prime q.
+//
+// Linial's construction identifies a color c < q^(d+1) with the polynomial
+// whose coefficients are the base-q digits of c; two distinct colors map to
+// polynomials that agree on at most d points of GF(q), which is the
+// cover-free property the reduction step needs.
+package gf
+
+import "fmt"
+
+// IsPrime reports whether x is prime. Trial division: every q used by the
+// reduction is O(Δ·log n), far below any range where this matters.
+func IsPrime(x int) bool {
+	if x < 2 {
+		return false
+	}
+	if x%2 == 0 {
+		return x == 2
+	}
+	for f := 3; f*f <= x; f += 2 {
+		if x%f == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime ≥ x (and 2 for x ≤ 2).
+func NextPrime(x int) int {
+	if x <= 2 {
+		return 2
+	}
+	if x%2 == 0 {
+		x++
+	}
+	for !IsPrime(x) {
+		x += 2
+	}
+	return x
+}
+
+// Digits decomposes value into exactly width base-q digits, least significant
+// first. It panics if value does not fit, which is always a parameter bug in
+// the caller.
+func Digits(value, q, width int) []int {
+	if value < 0 {
+		panic(fmt.Sprintf("gf: negative value %d", value))
+	}
+	out := make([]int, width)
+	for i := 0; i < width; i++ {
+		out[i] = value % q
+		value /= q
+	}
+	if value != 0 {
+		panic(fmt.Sprintf("gf: value does not fit in %d base-%d digits", width, q))
+	}
+	return out
+}
+
+// Eval evaluates the polynomial with the given coefficients (least
+// significant first) at point a over GF(q): Σ coeffs[i]·a^i mod q.
+// Coefficients and the point must already be reduced mod q.
+func Eval(coeffs []int, a, q int) int {
+	// Horner's rule, highest coefficient first.
+	acc := 0
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = (acc*a + coeffs[i]) % q
+	}
+	return acc
+}
+
+// Pow returns b^e mod q for e ≥ 0.
+func Pow(b, e, q int) int {
+	b %= q
+	if b < 0 {
+		b += q
+	}
+	acc := 1 % q
+	for e > 0 {
+		if e&1 == 1 {
+			acc = acc * b % q
+		}
+		b = b * b % q
+		e >>= 1
+	}
+	return acc
+}
+
+// CeilLog returns ⌈log_base(x)⌉ for x ≥ 1, base ≥ 2: the smallest w with
+// base^w ≥ x. CeilLog(base, 1) = 0.
+func CeilLog(base, x int) int {
+	if x < 1 || base < 2 {
+		panic(fmt.Sprintf("gf: CeilLog(%d, %d)", base, x))
+	}
+	w, p := 0, 1
+	for p < x {
+		// Overflow guard: widths beyond 62 bits cannot occur with sane inputs.
+		if p > (1<<62)/base {
+			panic("gf: CeilLog overflow")
+		}
+		p *= base
+		w++
+	}
+	return w
+}

@@ -1,0 +1,127 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 11, 13, 97, 101, 7919}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false", p)
+		}
+	}
+	composites := []int{-7, 0, 1, 4, 9, 15, 91, 7917, 7921}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11}, {90, 97}, {7908, 7919},
+	}
+	for _, tc := range cases {
+		if got := NextPrime(tc.in); got != tc.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDigitsRoundTrip(t *testing.T) {
+	f := func(v uint16, qRaw uint8) bool {
+		q := int(qRaw%29) + 2
+		width := CeilLog(q, int(v)+1)
+		if width == 0 {
+			width = 1
+		}
+		d := Digits(int(v), q, width)
+		back, mult := 0, 1
+		for _, x := range d {
+			if x < 0 || x >= q {
+				return false
+			}
+			back += x * mult
+			mult *= q
+		}
+		return back == int(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigitsOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Digits(100, 10, 1) did not panic")
+		}
+	}()
+	Digits(100, 10, 1)
+}
+
+func TestEvalMatchesNaive(t *testing.T) {
+	f := func(c0, c1, c2 uint8, aRaw uint8) bool {
+		q := 101
+		coeffs := []int{int(c0) % q, int(c1) % q, int(c2) % q}
+		a := int(aRaw) % q
+		naive := (coeffs[0] + coeffs[1]*a + coeffs[2]*a*a) % q
+		return Eval(coeffs, a, q) == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two distinct degree-d polynomials over GF(q) agree on at most d points:
+// the cover-free property Linial's reduction depends on.
+func TestPolynomialAgreementBound(t *testing.T) {
+	q := 13
+	d := 2
+	width := d + 1
+	for x := 0; x < q*q*q; x += 7 {
+		for y := x + 1; y < q*q*q; y += 97 {
+			cx := Digits(x, q, width)
+			cy := Digits(y, q, width)
+			agree := 0
+			for a := 0; a < q; a++ {
+				if Eval(cx, a, q) == Eval(cy, a, q) {
+					agree++
+				}
+			}
+			if agree > d {
+				t.Fatalf("colors %d and %d agree on %d > d=%d points", x, y, agree, d)
+			}
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(2, 10, 1000003); got != 1024 {
+		t.Fatalf("Pow(2,10) = %d", got)
+	}
+	if got := Pow(5, 0, 7); got != 1 {
+		t.Fatalf("Pow(5,0) = %d", got)
+	}
+	// Fermat: a^(p-1) = 1 mod p.
+	for a := 1; a < 13; a++ {
+		if got := Pow(a, 12, 13); got != 1 {
+			t.Fatalf("Fermat fails: %d^12 mod 13 = %d", a, got)
+		}
+	}
+}
+
+func TestCeilLog(t *testing.T) {
+	cases := []struct{ base, x, want int }{
+		{2, 1, 0}, {2, 2, 1}, {2, 3, 2}, {2, 8, 3}, {2, 9, 4},
+		{10, 1000, 3}, {10, 1001, 4}, {3, 27, 3},
+	}
+	for _, tc := range cases {
+		if got := CeilLog(tc.base, tc.x); got != tc.want {
+			t.Errorf("CeilLog(%d,%d) = %d, want %d", tc.base, tc.x, got, tc.want)
+		}
+	}
+}

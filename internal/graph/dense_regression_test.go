@@ -1,0 +1,15 @@
+package graph
+
+import "testing"
+
+func TestBipartiteDense(t *testing.T) {
+	g := RandomBipartiteRegular(256, 24, 13)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 24 {
+			t.Fatalf("node %d degree %d", v, g.Degree(v))
+		}
+	}
+}

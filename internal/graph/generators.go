@@ -1,0 +1,463 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// rng is a small deterministic PRNG (splitmix64) so that every generator is
+// reproducible across Go releases; math/rand's stream is not guaranteed
+// stable, and the experiment tables must be.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("rng: intn with non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// perm returns a random permutation of {0..n-1}.
+func (r *rng) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Cycle returns the n-node cycle C_n (n ≥ 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns the n-node path P_n.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			g.MustAddEdge(u, a+v)
+		}
+	}
+	return g
+}
+
+// Grid returns the r×c grid graph.
+func Grid(r, c int) *Graph {
+	g := New(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.MustAddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < r {
+				g.MustAddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the r×c torus (wrap-around grid); r, c ≥ 3 to stay simple.
+func Torus(r, c int) *Graph {
+	if r < 3 || c < 3 {
+		panic("graph: Torus needs r, c >= 3")
+	}
+	g := New(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			g.MustAddEdge(id(i, j), id(i, (j+1)%c))
+			g.MustAddEdge(id(i, j), id((i+1)%r, j))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d nodes.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				g.MustAddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// GNP returns an Erdős–Rényi G(n, p) sample (deterministic for a given seed).
+func GNP(n int, p float64, seed uint64) *Graph {
+	r := newRNG(seed)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns an exactly d-regular simple graph on n nodes via the
+// configuration model with edge-swap repair: half-edges are paired at random
+// and self-loops/multi-edges are eliminated by swapping partner endpoints
+// with random other pairs, which preserves the degree sequence exactly.
+// n·d must be even and d < n. Deterministic for a given seed.
+func RandomRegular(n, d int, seed uint64) *Graph {
+	if n*d%2 != 0 {
+		panic(fmt.Sprintf("graph: RandomRegular(%d,%d): n*d must be even", n, d))
+	}
+	if d >= n {
+		panic(fmt.Sprintf("graph: RandomRegular(%d,%d): need d < n", n, d))
+	}
+	r := newRNG(seed)
+	for attempt := 0; attempt < 100; attempt++ {
+		if g, ok := tryRegularPairing(n, d, r); ok {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("graph: RandomRegular(%d,%d): repair failed repeatedly (density too extreme?)", n, d))
+}
+
+// tryRegularPairing builds one configuration-model pairing and repairs it by
+// random swaps. Returns ok=false if the repair budget is exhausted.
+func tryRegularPairing(n, d int, r *rng) (*Graph, bool) {
+	stubs := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	for i := len(stubs) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		stubs[i], stubs[j] = stubs[j], stubs[i]
+	}
+	np := len(stubs) / 2
+	a := make([]int32, np)
+	b := make([]int32, np)
+	count := make(map[uint64]int, np)
+	for i := 0; i < np; i++ {
+		a[i], b[i] = stubs[2*i], stubs[2*i+1]
+		if a[i] != b[i] {
+			count[pack(a[i], b[i])]++
+		}
+	}
+	isBad := func(i int) bool {
+		return a[i] == b[i] || count[pack(a[i], b[i])] > 1
+	}
+	unlink := func(i int) {
+		if a[i] != b[i] {
+			count[pack(a[i], b[i])]--
+		}
+	}
+	link := func(i int) {
+		if a[i] != b[i] {
+			count[pack(a[i], b[i])]++
+		}
+	}
+	var bad []int
+	for i := 0; i < np; i++ {
+		if isBad(i) {
+			bad = append(bad, i)
+		}
+	}
+	budget := 200 * (np + 10)
+	for len(bad) > 0 && budget > 0 {
+		budget--
+		i := bad[len(bad)-1]
+		if !isBad(i) {
+			bad = bad[:len(bad)-1]
+			continue
+		}
+		j := r.intn(np)
+		if j == i {
+			continue
+		}
+		// Swap the second endpoints of pairs i and j.
+		unlink(i)
+		unlink(j)
+		b[i], b[j] = b[j], b[i]
+		link(i)
+		link(j)
+		if isBad(j) {
+			bad = append(bad, j)
+		}
+	}
+	if len(bad) > 0 {
+		stillBad := false
+		for i := 0; i < np; i++ {
+			if isBad(i) {
+				stillBad = true
+				break
+			}
+		}
+		if stillBad {
+			return nil, false
+		}
+	}
+	g := New(n)
+	for i := 0; i < np; i++ {
+		g.MustAddEdge(int(a[i]), int(b[i]))
+	}
+	return g, true
+}
+
+// RandomBipartiteRegular returns a bipartite d-regular graph on 2n nodes
+// (parts {0..n-1}, {n..2n-1}) as a union of d random disjoint perfect
+// matchings. Collisions with earlier matchings are repaired by target swaps
+// (which preserve the matching property), so construction stays fast at any
+// density. Deterministic for a given seed. Requires d ≤ n.
+func RandomBipartiteRegular(n, d int, seed uint64) *Graph {
+	if d > n {
+		panic(fmt.Sprintf("graph: RandomBipartiteRegular(%d,%d): need d <= n", n, d))
+	}
+	r := newRNG(seed)
+	g := New(2 * n)
+	for k := 0; k < d; k++ {
+		p := r.perm(n)
+		conflict := func(i int) bool {
+			_, dup := g.HasEdge(i, n+p[i])
+			return dup
+		}
+		budget := 200 * (n + 10)
+		progress := true
+		for progress {
+			progress = false
+			for i := 0; i < n && budget > 0; i++ {
+				for conflict(i) && budget > 0 {
+					budget--
+					j := r.intn(n)
+					if j == i {
+						continue
+					}
+					p[i], p[j] = p[j], p[i]
+					progress = true
+				}
+			}
+			clean := true
+			for i := 0; i < n; i++ {
+				if conflict(i) {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				break
+			}
+			if budget <= 0 {
+				panic(fmt.Sprintf("graph: RandomBipartiteRegular(%d,%d): matching repair failed", n, d))
+			}
+		}
+		for i := 0; i < n; i++ {
+			g.MustAddEdge(i, n+p[i])
+		}
+	}
+	return g
+}
+
+// PowerLaw returns a Chung–Lu style graph whose expected degree sequence
+// follows w_i ∝ (i+1)^(−1/(γ−1)), scaled so the maximum expected degree is
+// maxDeg. Deterministic for a given seed.
+func PowerLaw(n int, gamma float64, maxDeg int, seed uint64) *Graph {
+	if gamma <= 1 {
+		panic("graph: PowerLaw needs gamma > 1")
+	}
+	r := newRNG(seed)
+	w := make([]float64, n)
+	alpha := 1.0 / (gamma - 1)
+	for i := 0; i < n; i++ {
+		w[i] = float64(maxDeg) * math.Pow(float64(i+1), -alpha)
+	}
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := w[u] * w[v] / total
+			if p > 1 {
+				p = 1
+			}
+			if r.float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in the
+// unit square, edges between pairs at distance ≤ radius. This is the standard
+// abstraction of a wireless network and feeds the TDMA example.
+// Deterministic for a given seed.
+func RandomGeometric(n int, radius float64, seed uint64) *Graph {
+	r := newRNG(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.float64()
+		ys[i] = r.float64()
+	}
+	g := New(n)
+	r2 := radius * radius
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			if dx*dx+dy*dy <= r2 {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniform random recursive tree on n nodes: node i
+// attaches to a uniformly random earlier node. Deterministic for a given seed.
+func RandomTree(n int, seed uint64) *Graph {
+	r := newRNG(seed)
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(r.intn(i), i)
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar: a spine path of length spine with legs
+// pendant nodes attached to every spine node. A classic high-degree/low-width
+// stress case for edge coloring.
+func Caterpillar(spine, legs int) *Graph {
+	n := spine + spine*legs
+	g := New(n)
+	for i := 0; i+1 < spine; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.MustAddEdge(i, next)
+			next++
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: nodes arrive one
+// at a time and attach to k distinct existing nodes chosen proportionally
+// to degree. The standard heavy-tailed "scale-free" workload.
+// Deterministic for a given seed; requires 1 ≤ k < n.
+func BarabasiAlbert(n, k int, seed uint64) *Graph {
+	if k < 1 || k >= n {
+		panic(fmt.Sprintf("graph: BarabasiAlbert(%d,%d): need 1 ≤ k < n", n, k))
+	}
+	r := newRNG(seed)
+	g := New(n)
+	// Seed clique of k+1 nodes.
+	for u := 0; u <= k; u++ {
+		for v := u + 1; v <= k; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	// Degree-proportional sampling via the repeated-endpoints trick.
+	endpoints := make([]int32, 0, 2*n*k)
+	for _, e := range g.Edges() {
+		endpoints = append(endpoints, e.U, e.V)
+	}
+	for v := k + 1; v < n; v++ {
+		chosen := make(map[int]bool, k)
+		ordered := make([]int, 0, k) // insertion order keeps edge IDs deterministic
+		for len(chosen) < k {
+			t := int(endpoints[r.intn(len(endpoints))])
+			if t != v && !chosen[t] {
+				chosen[t] = true
+				ordered = append(ordered, t)
+			}
+		}
+		for _, t := range ordered {
+			g.MustAddEdge(v, t)
+			endpoints = append(endpoints, int32(v), int32(t))
+		}
+	}
+	return g
+}
+
+// CliqueChain returns a chain of k cliques of size s, consecutive cliques
+// sharing one node: a workload with both high degree and long diameter.
+func CliqueChain(k, s int) *Graph {
+	if s < 2 || k < 1 {
+		panic("graph: CliqueChain needs s >= 2, k >= 1")
+	}
+	n := k*(s-1) + 1
+	g := New(n)
+	for c := 0; c < k; c++ {
+		base := c * (s - 1)
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				g.MustAddEdge(base+i, base+j)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTo emits g in the plain edge-list interchange format:
+//
+//	n m
+//	u v        (one line per edge, in EdgeID order)
+//
+// Lines beginning with '#' are comments on input and are never emitted.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "%d %d\n", g.n, len(g.edges))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, e := range g.edges {
+		n, err = fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Read parses the edge-list format emitted by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: missing header: %w", err)
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %w", line, err)
+	}
+	g := New(n)
+	for i := 0; i < m; i++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
+		}
+		if _, err := g.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// String renders a short human-readable summary, e.g. "graph(n=16 m=24 Δ=3 Δ̄=4)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d m=%d Δ=%d Δ̄=%d)", g.n, len(g.edges), g.MaxDegree(), g.MaxEdgeDegree())
+}

@@ -1,0 +1,310 @@
+// Package linial implements Linial's deterministic color reduction in the
+// LOCAL model [Lin87], the substrate the paper invokes as "compute an
+// O(Δ̄²)-edge coloring in O(log* n) rounds".
+//
+// Given any proper coloring of a conflict system with X colors and maximum
+// conflict degree Δ, the algorithm reaches O(Δ²) colors in O(log* X) rounds.
+// Each round applies the cover-free-family step: the current color c < q^(d+1)
+// is read as a degree-d polynomial over GF(q) (its base-q digits); because two
+// distinct polynomials agree on at most d of the q points and q > Δ·d, every
+// entity can pick a point a where its polynomial differs from all neighbors'
+// polynomials, and adopt the pair (a, f(a)) — one of q² colors — as its new
+// color. The schedule of (q, d) pairs is a pure function of (X, Δ), so all
+// entities run in lockstep without coordination.
+//
+// The package also provides the standard one-class-per-round reduction to any
+// target ≥ Δ+1 colors (used to 3-color the max-degree-2 conflict paths/cycles
+// of the paper's defective coloring, §4.1).
+package linial
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/distec/distec/internal/gf"
+	"github.com/distec/distec/internal/local"
+)
+
+// Step is one Linial reduction round: colors < Q^(D+1) become colors < Q².
+type Step struct {
+	Q int // field size (prime, > maxDeg·D)
+	D int // polynomial degree
+}
+
+// ceilRoot returns the smallest r ≥ 1 with r^k ≥ m.
+func ceilRoot(m, k int) int {
+	if m <= 1 {
+		return 1
+	}
+	r := int(math.Pow(float64(m), 1/float64(k)))
+	for r > 1 && pow64(r-1, k) >= m {
+		r--
+	}
+	for pow64(r, k) < m {
+		r++
+	}
+	return r
+}
+
+// pow64 computes r^k, saturating at math.MaxInt64 to avoid overflow.
+func pow64(r, k int) int {
+	acc := 1
+	for i := 0; i < k; i++ {
+		if acc > math.MaxInt64/max(r, 1) {
+			return math.MaxInt64
+		}
+		acc *= r
+	}
+	return acc
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bestStep returns the step minimizing the resulting color count q² for the
+// current color count m and conflict degree maxDeg, or ok=false when no step
+// makes progress (m is already at the fixpoint).
+func bestStep(m, maxDeg int) (Step, bool) {
+	bestQ := -1
+	var best Step
+	for d := 1; d <= 62; d++ {
+		lo := maxDeg*d + 1
+		root := ceilRoot(m, d+1)
+		q := gf.NextPrime(max(lo, root))
+		if bestQ < 0 || q < bestQ {
+			bestQ = q
+			best = Step{Q: q, D: d}
+		}
+		// Larger d only helps while the root term dominates; once lo ≥ root
+		// the q value can only grow with d.
+		if lo >= root {
+			break
+		}
+	}
+	if bestQ*bestQ >= m {
+		return Step{}, false
+	}
+	return best, true
+}
+
+// Plan returns the deterministic (q, d) schedule that reduces X colors to the
+// fixpoint on conflict systems of maximum degree maxDeg. The schedule length
+// is O(log* X).
+func Plan(X, maxDeg int) []Step {
+	if maxDeg <= 0 {
+		return nil
+	}
+	var plan []Step
+	m := X
+	for {
+		s, ok := bestStep(m, maxDeg)
+		if !ok {
+			return plan
+		}
+		plan = append(plan, s)
+		m = s.Q * s.Q
+	}
+}
+
+// Colors returns the number of colors after running Plan(X, maxDeg):
+// O(maxDeg²), concretely at most NextPrime(maxDeg+1)² ≤ 4(maxDeg+1)².
+func Colors(X, maxDeg int) int {
+	if maxDeg <= 0 {
+		return min(X, 1)
+	}
+	plan := Plan(X, maxDeg)
+	if len(plan) == 0 {
+		return X
+	}
+	last := plan[len(plan)-1]
+	return last.Q * last.Q
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// reducer is the per-entity protocol: len(plan) Linial rounds followed by
+// (K − target) class-elimination rounds when target ≥ 0.
+type reducer struct {
+	v      local.View
+	color  int
+	plan   []Step
+	k      int // colors after the plan
+	target int // −1: no class reduction
+	out    []int
+	errs   *local.ErrorSink
+	dead   bool // a protocol error occurred; idle out the schedule
+}
+
+func (rd *reducer) Send(r int) []local.Message {
+	msgs := make([]local.Message, rd.v.Degree)
+	for p := range msgs {
+		msgs[p] = rd.color
+	}
+	return msgs
+}
+
+func (rd *reducer) Receive(r int, inbox []local.Message) bool {
+	if rd.dead {
+		// Keep pace with the lockstep schedule but stop computing.
+	} else if r <= len(rd.plan) {
+		rd.linialStep(rd.plan[r-1], inbox)
+	} else if rd.target >= 0 {
+		c := rd.k - (r - len(rd.plan))
+		if rd.color == c {
+			rd.recolorBelow(rd.target, inbox)
+		}
+	}
+	total := len(rd.plan)
+	if rd.target >= 0 && rd.k > rd.target {
+		total += rd.k - rd.target
+	}
+	if r >= total {
+		rd.out[rd.v.Index] = rd.color
+		return true
+	}
+	return false
+}
+
+// linialStep applies one cover-free reduction: find a point of GF(q) where
+// this entity's color-polynomial differs from every neighbor's.
+func (rd *reducer) linialStep(s Step, inbox []local.Message) {
+	q, d := s.Q, s.D
+	mine := gf.Digits(rd.color, q, d+1)
+	nbr := make([][]int, 0, len(inbox))
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		c := m.(int)
+		if c == rd.color {
+			rd.errs.Set(fmt.Errorf("linial: entity %d and a neighbor share color %d (input coloring not proper)", rd.v.Index, c))
+			rd.dead = true
+			rd.color = 0
+			return
+		}
+		nbr = append(nbr, gf.Digits(c, q, d+1))
+	}
+	for a := 0; a < q; a++ {
+		fa := gf.Eval(mine, a, q)
+		ok := true
+		for _, nc := range nbr {
+			if gf.Eval(nc, a, q) == fa {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rd.color = a*q + fa
+			return
+		}
+	}
+	rd.errs.Set(fmt.Errorf("linial: entity %d found no conflict-free point (q=%d d=%d deg=%d)", rd.v.Index, q, d, rd.v.Degree))
+	rd.dead = true
+	rd.color = 0
+}
+
+// recolorBelow picks the smallest color < target not used by any neighbor.
+func (rd *reducer) recolorBelow(target int, inbox []local.Message) {
+	used := make([]bool, target)
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		if c := m.(int); c < target {
+			used[c] = true
+		}
+	}
+	for c := 0; c < target; c++ {
+		if !used[c] {
+			rd.color = c
+			return
+		}
+	}
+	rd.errs.Set(fmt.Errorf("linial: entity %d cannot recolor below %d with degree %d", rd.v.Index, target, rd.v.Degree))
+}
+
+// Reduce runs Linial's reduction on topology t, starting from the proper
+// coloring initial (values < X), and returns the resulting coloring with
+// fewer than Colors(X, t.MaxDeg) colors.
+func Reduce(t *local.Topology, initial []int, x int, run local.Runner) ([]int, local.Stats, error) {
+	return reduce(t, initial, x, -1, run)
+}
+
+// ReduceToTarget runs Linial's reduction and then eliminates color classes
+// one round at a time until only target colors remain. Requires
+// target ≥ t.MaxDeg+1 (otherwise a greedy recoloring step can get stuck).
+func ReduceToTarget(t *local.Topology, initial []int, x, target int, run local.Runner) ([]int, local.Stats, error) {
+	if target < t.MaxDeg+1 {
+		return nil, local.Stats{}, fmt.Errorf("linial: target %d < maxDeg+1 = %d", target, t.MaxDeg+1)
+	}
+	return reduce(t, initial, x, target, run)
+}
+
+func reduce(t *local.Topology, initial []int, x, target int, run local.Runner) ([]int, local.Stats, error) {
+	n := t.N()
+	if len(initial) != n {
+		return nil, local.Stats{}, fmt.Errorf("linial: %d initial colors for %d entities", len(initial), n)
+	}
+	for i, c := range initial {
+		if c < 0 || c >= x {
+			return nil, local.Stats{}, fmt.Errorf("linial: initial color %d of entity %d outside [0,%d)", c, i, x)
+		}
+	}
+	// Input validation (not communication): the reduction is only defined on
+	// proper colorings, so reject improper input up front.
+	for i := range t.Ports {
+		for _, j := range t.Ports[i] {
+			if initial[i] == initial[int(j)] {
+				return nil, local.Stats{}, fmt.Errorf("linial: input coloring improper: entities %d and %d share color %d", i, j, initial[i])
+			}
+		}
+	}
+	if run == nil {
+		run = local.RunSequential
+	}
+	out := make([]int, n)
+	if t.MaxDeg == 0 {
+		// No conflicts anywhere: color 0 everywhere, zero rounds.
+		return out, local.Stats{}, nil
+	}
+	plan := Plan(x, t.MaxDeg)
+	k := x
+	if len(plan) > 0 {
+		last := plan[len(plan)-1]
+		k = last.Q * last.Q
+	}
+	if len(plan) == 0 && (target < 0 || k <= target) {
+		// Already at (or below) the requested color count: nothing to do.
+		copy(out, initial)
+		return out, local.Stats{}, nil
+	}
+	errs := &local.ErrorSink{}
+	factory := func(v local.View) local.Protocol {
+		return &reducer{
+			v:      v,
+			color:  initial[v.Index],
+			plan:   plan,
+			k:      k,
+			target: target,
+			out:    out,
+			errs:   errs,
+		}
+	}
+	stats, err := run(t, factory, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := errs.Err(); err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}

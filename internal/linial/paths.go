@@ -1,0 +1,19 @@
+package linial
+
+import (
+	"fmt"
+
+	"github.com/distec/distec/internal/local"
+)
+
+// ThreeColorPaths 3-colors a conflict system whose maximum degree is at most
+// 2 — disjoint paths and cycles — in O(log* X) rounds. This is the primitive
+// the paper's defective edge coloring uses: "edges that have the same color
+// and are incident to the same group form paths or cycles. We can 3-color the
+// edges of these paths and cycles independently in O(log* X) rounds" (§4.1).
+func ThreeColorPaths(t *local.Topology, initial []int, x int, run local.Runner) ([]int, local.Stats, error) {
+	if t.MaxDeg > 2 {
+		return nil, local.Stats{}, fmt.Errorf("linial: ThreeColorPaths on topology with max degree %d > 2", t.MaxDeg)
+	}
+	return ReduceToTarget(t, initial, x, 3, run)
+}

@@ -1,0 +1,487 @@
+// Package local implements the synchronous LOCAL model of distributed
+// computing (Linial 1987, Peleg 2000) used by the paper.
+//
+// A Topology fixes a set of communication entities (graph nodes, or graph
+// edges communicating with conflicting edges), each with a unique identifier
+// and port-numbered links. A Protocol is the per-entity state machine: in
+// every synchronous round each entity produces one message per port, the
+// engine delivers all messages, and each entity consumes its inbox and
+// decides whether to halt. Messages are arbitrary Go values — the LOCAL
+// model does not charge for bandwidth, only rounds.
+//
+// Two engines execute the same Protocol with identical semantics:
+//
+//   - RunSequential: a deterministic loop; the workhorse for experiments.
+//   - RunGoroutines: one goroutine per entity, real channels per link, and
+//     barrier-synchronized rounds; demonstrates that the protocols are
+//     honest message-passing programs and cross-checks the sequential engine.
+//
+// Entities know, at start: their own ID, their degree, the global entity
+// count and the global maximum degree (standard LOCAL assumptions; the paper
+// additionally lets every node know n and Δ). They do NOT know neighbor IDs
+// until a neighbor sends them.
+package local
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Message is an arbitrary LOCAL-model message. A nil Message means
+// "nothing sent on this port this round".
+type Message any
+
+// View is the static local knowledge of one entity.
+type View struct {
+	// Index is the entity's index in the topology, in {0..N-1}. It also
+	// serves as the unique identifier required by the LOCAL model.
+	Index int
+	// N is the total number of entities (nodes know n).
+	N int
+	// Degree is the number of ports of this entity.
+	Degree int
+	// MaxDegree is the maximum degree over all entities (nodes know Δ).
+	MaxDegree int
+	// Meta carries topology-specific local knowledge (e.g. *EdgeMeta for
+	// edge-conflict topologies). Nil for plain node topologies.
+	Meta any
+}
+
+// Protocol is the per-entity algorithm. The engine drives it as:
+//
+//	for r := 1; ...; r++ {
+//	    out := Send(r)            // for every active entity
+//	    deliver all messages
+//	    done := Receive(r, inbox) // for every active entity
+//	}
+//
+// until every entity has returned done=true. A halted entity sends nothing
+// in later rounds and its Receive is not called again.
+type Protocol interface {
+	// Send returns the messages for round r, indexed by port. The returned
+	// slice must have length Degree (use View.Degree); nil entries send
+	// nothing. Returning a nil slice sends nothing at all.
+	Send(r int) []Message
+	// Receive consumes the messages delivered in round r (inbox[p] is the
+	// message from the neighbor on port p, nil if it sent nothing) and
+	// reports whether the entity halts.
+	Receive(r int, inbox []Message) (done bool)
+}
+
+// SparseReceiver is an optional fast path for protocols with long quiet
+// stretches (e.g. the one-class-per-round greedy phase): when an entity
+// received no message in a round, the engines call ReceiveNone instead of
+// Receive, sparing the O(degree) inbox scan. ReceiveNone must behave exactly
+// like Receive with an all-nil inbox.
+type SparseReceiver interface {
+	ReceiveNone(r int) (done bool)
+}
+
+// Sleeper is an optional event-driven fast path: after a quiet round r (no
+// messages received), NextWake(r) promises that — absent incoming messages —
+// the entity will send nothing and its ReceiveNone will not halt it before
+// round NextWake(r). The sequential engine then skips the entity entirely
+// until that round or until a message arrives, turning long deterministic
+// schedules (one class per round) into event-driven simulation. The
+// goroutine engine ignores Sleeper (its barrier already ticks every entity);
+// results are identical because skipped calls are no-ops by contract.
+type Sleeper interface {
+	SparseReceiver
+	NextWake(r int) int
+}
+
+// Topology is a fixed port-numbered communication structure.
+type Topology struct {
+	// Ports[i][p] is the entity reached from entity i via port p.
+	Ports [][]int32
+	// Back[i][p] is the port at entity Ports[i][p] that leads back to i.
+	Back [][]int32
+	// Meta[i] is per-entity metadata exposed through View.Meta (may be nil).
+	Meta []any
+	// MaxDeg is the maximum entity degree, precomputed.
+	MaxDeg int
+}
+
+// N returns the number of entities.
+func (t *Topology) N() int { return len(t.Ports) }
+
+// Degree returns the degree of entity i.
+func (t *Topology) Degree(i int) int { return len(t.Ports[i]) }
+
+// Validate checks the port structure for internal consistency: every link
+// must be bidirectional with matching back-pointers.
+func (t *Topology) Validate() error {
+	for i := range t.Ports {
+		if len(t.Back[i]) != len(t.Ports[i]) {
+			return fmt.Errorf("local: entity %d has %d ports but %d back-pointers", i, len(t.Ports[i]), len(t.Back[i]))
+		}
+		for p, j := range t.Ports[i] {
+			b := t.Back[i][p]
+			if int(j) < 0 || int(j) >= len(t.Ports) {
+				return fmt.Errorf("local: entity %d port %d points to unknown entity %d", i, p, j)
+			}
+			if int(b) < 0 || int(b) >= len(t.Ports[j]) {
+				return fmt.Errorf("local: entity %d port %d has bad back-port %d", i, p, b)
+			}
+			if int(t.Ports[j][b]) != i {
+				return fmt.Errorf("local: link %d.%d -> %d.%d is not symmetric", i, p, j, b)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the cost of a protocol execution.
+type Stats struct {
+	// Rounds is the number of synchronous rounds until all entities halted.
+	Rounds int
+	// Messages is the total number of non-nil messages delivered.
+	Messages int64
+}
+
+// Factory constructs the protocol instance for one entity from its view.
+type Factory func(v View) Protocol
+
+// ErrRoundLimit is returned when a protocol exceeds the engine's round cap,
+// which indicates a livelocked or diverging protocol.
+var ErrRoundLimit = errors.New("local: round limit exceeded")
+
+// Options tunes an engine run.
+type Options struct {
+	// MaxRounds caps the execution (default 1<<20). Exceeding it returns
+	// ErrRoundLimit.
+	MaxRounds int
+}
+
+func (o *Options) maxRounds() int {
+	if o == nil || o.MaxRounds <= 0 {
+		return 1 << 20
+	}
+	return o.MaxRounds
+}
+
+func makeView(t *Topology, i int) View {
+	var meta any
+	if t.Meta != nil {
+		meta = t.Meta[i]
+	}
+	return View{
+		Index:     i,
+		N:         t.N(),
+		Degree:    len(t.Ports[i]),
+		MaxDegree: t.MaxDeg,
+		Meta:      meta,
+	}
+}
+
+// slot identifies one inbox cell for sparse clearing.
+type slot struct {
+	entity int32
+	port   int32
+}
+
+// RunSequential executes the protocol deterministically on a single
+// goroutine and returns the execution stats.
+//
+// Inbox buffers are cleared sparsely (only slots written in a buffer's
+// previous use), so a round's cost is O(active entities + messages) rather
+// than O(total ports) — essential for long, sparse schedules such as the
+// one-class-per-round greedy phases.
+func RunSequential(t *Topology, f Factory, opts *Options) (Stats, error) {
+	n := t.N()
+	procs := make([]Protocol, n)
+	sparse := make([]SparseReceiver, n)
+	sleepers := make([]Sleeper, n)
+	for i := 0; i < n; i++ {
+		procs[i] = f(makeView(t, i))
+		if sr, ok := procs[i].(SparseReceiver); ok {
+			sparse[i] = sr
+		}
+		if sl, ok := procs[i].(Sleeper); ok {
+			sleepers[i] = sl
+		}
+	}
+	wake := make([]int, n) // round before which entity i is skipped
+	inboxes := make([][]Message, n)
+	nextInboxes := make([][]Message, n)
+	for i := 0; i < n; i++ {
+		inboxes[i] = make([]Message, len(t.Ports[i]))
+		nextInboxes[i] = make([]Message, len(t.Ports[i]))
+	}
+	// touched[b] lists the slots written into buffer b since it was last
+	// cleared; buffers swap roles each round. gotMsg counts this round's
+	// deliveries per entity (reset sparsely via the touched list).
+	var touched [2][]slot
+	cur := 0
+	gotMsg := make([]int32, n)
+	// order is the compact list of still-active entities, in ascending
+	// order (compaction preserves it), so rounds cost O(active), not O(n).
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	var stats Stats
+	limit := opts.maxRounds()
+	for r := 1; len(order) > 0; r++ {
+		if r > limit {
+			return stats, fmt.Errorf("%w (limit %d)", ErrRoundLimit, limit)
+		}
+		stats.Rounds = r
+		// Clear the stale entries of the buffer about to be written and the
+		// previous round's delivery counters.
+		for _, s := range touched[cur] {
+			nextInboxes[s.entity][s.port] = nil
+		}
+		touched[cur] = touched[cur][:0]
+		for _, s := range touched[1-cur] {
+			gotMsg[s.entity] = 0
+		}
+		for _, i32 := range order {
+			i := int(i32)
+			if wake[i] > r {
+				continue
+			}
+			out := procs[i].Send(r)
+			if out == nil {
+				continue
+			}
+			if len(out) != len(t.Ports[i]) {
+				return stats, fmt.Errorf("local: entity %d sent %d messages, has %d ports", i, len(out), len(t.Ports[i]))
+			}
+			for p, msg := range out {
+				if msg == nil {
+					continue
+				}
+				j := t.Ports[i][p]
+				back := t.Back[i][p]
+				nextInboxes[j][back] = msg
+				touched[cur] = append(touched[cur], slot{entity: j, port: back})
+				gotMsg[j]++
+				stats.Messages++
+			}
+		}
+		inboxes, nextInboxes = nextInboxes, inboxes
+		cur = 1 - cur
+		w := 0
+		for _, i32 := range order {
+			i := int(i32)
+			if wake[i] > r && gotMsg[i] == 0 {
+				// Sleeping and nothing arrived: skip by contract.
+				order[w] = i32
+				w++
+				continue
+			}
+			var done bool
+			if gotMsg[i] == 0 && sparse[i] != nil {
+				done = sparse[i].ReceiveNone(r)
+				if !done && sleepers[i] != nil {
+					wake[i] = sleepers[i].NextWake(r)
+				}
+			} else {
+				done = procs[i].Receive(r, inboxes[i])
+				wake[i] = 0
+			}
+			if !done {
+				order[w] = i32
+				w++
+			}
+		}
+		order = order[:w]
+	}
+	return stats, nil
+}
+
+// RunGoroutines executes the protocol with one goroutine per entity and one
+// buffered channel per directed link, synchronizing rounds with barriers.
+// Results are identical to RunSequential for deterministic protocols.
+func RunGoroutines(t *Topology, f Factory, opts *Options) (Stats, error) {
+	n := t.N()
+	if n == 0 {
+		return Stats{}, nil
+	}
+	// One channel per directed link, capacity 1: within a round each link
+	// carries at most one message.
+	chans := make([][]chan Message, n)
+	for i := 0; i < n; i++ {
+		chans[i] = make([]chan Message, len(t.Ports[i]))
+		for p := range chans[i] {
+			chans[i][p] = make(chan Message, 1)
+		}
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		messages int64
+		rounds   int
+	)
+	limit := opts.maxRounds()
+	barrier := newBarrier(n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			proc := f(makeView(t, i))
+			sparse, _ := proc.(SparseReceiver)
+			inbox := make([]Message, len(t.Ports[i]))
+			done := false
+			var sent int64
+			maxRound := 0
+			for r := 1; ; r++ {
+				if r > limit {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%w (limit %d)", ErrRoundLimit, limit)
+					}
+					mu.Unlock()
+					barrier.cancel()
+					break
+				}
+				if !done {
+					out := proc.Send(r)
+					if out != nil && len(out) != len(t.Ports[i]) {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("local: entity %d sent %d messages, has %d ports", i, len(out), len(t.Ports[i]))
+						}
+						mu.Unlock()
+						barrier.cancel()
+						break
+					}
+					for p, msg := range out {
+						if msg == nil {
+							continue
+						}
+						chans[t.Ports[i][p]][t.Back[i][p]] <- msg
+						sent++
+					}
+				}
+				// Barrier 1: all sends for round r complete.
+				if !barrier.wait() {
+					break
+				}
+				// Drain this entity's channels even when halted, so that
+				// neighbors that keep sending never block on a full link.
+				drained := 0
+				for p := range inbox {
+					select {
+					case m := <-chans[i][p]:
+						inbox[p] = m
+						drained++
+					default:
+						inbox[p] = nil
+					}
+				}
+				if !done {
+					if drained == 0 && sparse != nil {
+						done = sparse.ReceiveNone(r)
+					} else {
+						done = proc.Receive(r, inbox)
+					}
+					if done {
+						maxRound = r
+						barrier.arriveDone()
+					}
+				}
+				// Barrier 2: all receives for round r complete; engine-wide
+				// halt detection.
+				allDone, ok := barrier.waitEnd()
+				if !ok {
+					break
+				}
+				if allDone {
+					break
+				}
+			}
+			mu.Lock()
+			messages += sent
+			if maxRound > rounds {
+				rounds = maxRound
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Stats{}, firstErr
+	}
+	return Stats{Rounds: rounds, Messages: messages}, nil
+}
+
+// barrier is a reusable two-phase barrier with a "done" population count and
+// cooperative cancellation.
+type barrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	n         int // total participants
+	arrived   int
+	phase     uint64
+	doneCount int
+	cancelled bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants arrive. Returns false if cancelled.
+func (b *barrier) wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cancelled {
+		return false
+	}
+	phase := b.phase
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+		return !b.cancelled
+	}
+	for b.phase == phase && !b.cancelled {
+		b.cond.Wait()
+	}
+	return !b.cancelled
+}
+
+// arriveDone marks the calling participant as permanently done. It must be
+// called between the two barrier phases of the round in which the entity
+// halts; the entity continues to participate in barriers (but not messaging)
+// so the phases stay aligned.
+func (b *barrier) arriveDone() {
+	b.mu.Lock()
+	b.doneCount++
+	b.mu.Unlock()
+}
+
+// waitEnd is the second-phase barrier; it reports (allDone, ok).
+func (b *barrier) waitEnd() (bool, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cancelled {
+		return false, false
+	}
+	phase := b.phase
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+		return b.doneCount == b.n, !b.cancelled
+	}
+	for b.phase == phase && !b.cancelled {
+		b.cond.Wait()
+	}
+	return b.doneCount == b.n, !b.cancelled
+}
+
+func (b *barrier) cancel() {
+	b.mu.Lock()
+	b.cancelled = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,281 @@
+package local
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/distec/distec/internal/graph"
+)
+
+// floodMax is a test protocol: every entity broadcasts the largest entity
+// index it has seen for a fixed number of rounds, then halts. On a connected
+// topology with rounds ≥ diameter every entity learns the global maximum.
+type floodMax struct {
+	v      View
+	rounds int
+	best   int
+	out    []int // result sink, indexed by entity (each writes only its own)
+}
+
+func (f *floodMax) Send(r int) []Message {
+	msgs := make([]Message, f.v.Degree)
+	for p := range msgs {
+		msgs[p] = f.best
+	}
+	return msgs
+}
+
+func (f *floodMax) Receive(r int, inbox []Message) bool {
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		if x := m.(int); x > f.best {
+			f.best = x
+		}
+	}
+	if r >= f.rounds {
+		f.out[f.v.Index] = f.best
+		return true
+	}
+	return false
+}
+
+func floodFactory(rounds int, out []int) Factory {
+	return func(v View) Protocol {
+		return &floodMax{v: v, rounds: rounds, best: v.Index, out: out}
+	}
+}
+
+func TestTopologyFromGraphValid(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(10), graph.Star(8), graph.Complete(6),
+		graph.Grid(4, 5), graph.RandomRegular(30, 4, 1), graph.Path(2),
+	} {
+		tp := FromGraph(g)
+		if err := tp.Validate(); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if tp.N() != g.N() {
+			t.Fatalf("entity count %d != n %d", tp.N(), g.N())
+		}
+		if tp.MaxDeg != g.MaxDegree() {
+			t.Fatalf("MaxDeg %d != Δ %d", tp.MaxDeg, g.MaxDegree())
+		}
+	}
+}
+
+func TestEdgeConflictValid(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(9), graph.Star(8), graph.Complete(6),
+		graph.Grid(3, 4), graph.RandomRegular(24, 5, 2), graph.Path(3),
+	} {
+		tp := EdgeConflict(g)
+		if err := tp.Validate(); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if tp.N() != g.M() {
+			t.Fatalf("entity count %d != m %d", tp.N(), g.M())
+		}
+		if tp.MaxDeg != g.MaxEdgeDegree() {
+			t.Fatalf("MaxDeg %d != Δ̄ %d", tp.MaxDeg, g.MaxEdgeDegree())
+		}
+		for e := 0; e < tp.N(); e++ {
+			me := tp.Meta[e].(*EdgeMeta)
+			if tp.Degree(e) != me.EdgeDegree() {
+				t.Fatalf("edge %d: %d ports, EdgeDegree %d", e, tp.Degree(e), me.EdgeDegree())
+			}
+		}
+	}
+}
+
+// TestEdgeMetaPortStructure verifies that the port layout documented on
+// EdgeMeta matches the actual links: the neighbor on port p shares exactly
+// the endpoint SharedEndpoint(p) and sits at incidence position
+// NeighborPos(p) of that endpoint.
+func TestEdgeMetaPortStructure(t *testing.T) {
+	g := graph.RandomRegular(20, 4, 7)
+	tp := EdgeConflict(g)
+	for e := 0; e < tp.N(); e++ {
+		me := tp.Meta[e].(*EdgeMeta)
+		for p, fj := range tp.Ports[e] {
+			f := graph.EdgeID(fj)
+			s := int(me.SharedKey(p))
+			fu, fv := g.Endpoints(f)
+			if fu != s && fv != s {
+				t.Fatalf("edge %d port %d: neighbor %d does not touch shared endpoint %d", e, p, f, s)
+			}
+			want := me.NeighborPos(p)
+			found := -1
+			for pos, id := range g.Incident(s) {
+				if id == f {
+					found = pos
+				}
+			}
+			if found != want {
+				t.Fatalf("edge %d port %d: NeighborPos=%d, actual position %d", e, p, want, found)
+			}
+		}
+	}
+}
+
+func TestFloodMaxBothEngines(t *testing.T) {
+	g := graph.RandomRegular(40, 3, 3)
+	tp := FromGraph(g)
+	rounds := 40 // ≥ diameter
+
+	outSeq := make([]int, tp.N())
+	statsSeq, err := RunSequential(tp, floodFactory(rounds, outSeq), nil)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	outGo := make([]int, tp.N())
+	statsGo, err := RunGoroutines(tp, floodFactory(rounds, outGo), nil)
+	if err != nil {
+		t.Fatalf("goroutines: %v", err)
+	}
+	for i := range outSeq {
+		if outSeq[i] != tp.N()-1 {
+			t.Fatalf("entity %d learned max %d, want %d", i, outSeq[i], tp.N()-1)
+		}
+		if outSeq[i] != outGo[i] {
+			t.Fatalf("engines disagree at entity %d: %d vs %d", i, outSeq[i], outGo[i])
+		}
+	}
+	if statsSeq.Rounds != rounds || statsGo.Rounds != rounds {
+		t.Fatalf("rounds: seq=%d go=%d, want %d", statsSeq.Rounds, statsGo.Rounds, rounds)
+	}
+	if statsSeq.Messages != statsGo.Messages {
+		t.Fatalf("message counts differ: seq=%d go=%d", statsSeq.Messages, statsGo.Messages)
+	}
+}
+
+// portEcho verifies the Back-pointer wiring: each entity sends its own index
+// on every port and checks that what it receives on port p is exactly the
+// index of the neighbor that port p points to.
+type portEcho struct {
+	v        View
+	expected []int32
+	t        *testing.T
+}
+
+func (pe *portEcho) Send(r int) []Message {
+	msgs := make([]Message, pe.v.Degree)
+	for p := range msgs {
+		msgs[p] = pe.v.Index
+	}
+	return msgs
+}
+
+func (pe *portEcho) Receive(r int, inbox []Message) bool {
+	for p, m := range inbox {
+		if m == nil {
+			pe.t.Errorf("entity %d port %d: no message", pe.v.Index, p)
+			continue
+		}
+		if got := m.(int); got != int(pe.expected[p]) {
+			pe.t.Errorf("entity %d port %d: got %d, want %d", pe.v.Index, p, got, pe.expected[p])
+		}
+	}
+	return true
+}
+
+func TestPortWiring(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Star(6), graph.Complete(5), graph.Grid(3, 3)} {
+		for _, tp := range []*Topology{FromGraph(g), EdgeConflict(g)} {
+			f := func(v View) Protocol {
+				return &portEcho{v: v, expected: tp.Ports[v.Index], t: t}
+			}
+			if _, err := RunSequential(tp, f, nil); err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			if _, err := RunGoroutines(tp, f, nil); err != nil {
+				t.Fatalf("goroutines: %v", err)
+			}
+		}
+	}
+}
+
+// neverHalt exercises the round limit.
+type neverHalt struct{ v View }
+
+func (nh *neverHalt) Send(r int) []Message        { return nil }
+func (nh *neverHalt) Receive(int, []Message) bool { return false }
+func neverFactory(v View) Protocol                { return &neverHalt{v: v} }
+
+func TestRoundLimit(t *testing.T) {
+	tp := FromGraph(graph.Cycle(4))
+	opts := &Options{MaxRounds: 10}
+	if _, err := RunSequential(tp, neverFactory, opts); !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("sequential: err = %v, want ErrRoundLimit", err)
+	}
+	if _, err := RunGoroutines(tp, neverFactory, opts); !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("goroutines: err = %v, want ErrRoundLimit", err)
+	}
+}
+
+// staggeredHalt halts entity i after i+1 rounds, exercising the engines'
+// handling of messages arriving at already-halted entities.
+type staggeredHalt struct{ v View }
+
+func (s *staggeredHalt) Send(r int) []Message {
+	msgs := make([]Message, s.v.Degree)
+	for p := range msgs {
+		msgs[p] = r
+	}
+	return msgs
+}
+
+func (s *staggeredHalt) Receive(r int, inbox []Message) bool {
+	return r > s.v.Index
+}
+
+func TestStaggeredHalting(t *testing.T) {
+	tp := FromGraph(graph.Complete(8))
+	f := func(v View) Protocol { return &staggeredHalt{v: v} }
+	seq, err := RunSequential(tp, f, nil)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	gor, err := RunGoroutines(tp, f, nil)
+	if err != nil {
+		t.Fatalf("goroutines: %v", err)
+	}
+	if seq.Rounds != 8 || gor.Rounds != 8 {
+		t.Fatalf("rounds seq=%d go=%d, want 8 (last entity halts after round 8)", seq.Rounds, gor.Rounds)
+	}
+	if seq.Messages != gor.Messages {
+		t.Fatalf("messages differ: seq=%d go=%d", seq.Messages, gor.Messages)
+	}
+}
+
+func TestEmptyTopology(t *testing.T) {
+	g := graph.New(5) // nodes, no edges
+	tp := EdgeConflict(g)
+	stats, err := RunSequential(tp, neverFactory, &Options{MaxRounds: 1})
+	if err != nil {
+		t.Fatalf("sequential on empty: %v", err)
+	}
+	if stats.Rounds != 0 {
+		t.Fatalf("rounds = %d, want 0", stats.Rounds)
+	}
+	if _, err := RunGoroutines(tp, neverFactory, &Options{MaxRounds: 1}); err != nil {
+		t.Fatalf("goroutines on empty: %v", err)
+	}
+}
+
+func TestSendLengthMismatchRejected(t *testing.T) {
+	tp := FromGraph(graph.Cycle(4))
+	bad := func(v View) Protocol { return badSender{} }
+	if _, err := RunSequential(tp, bad, nil); err == nil {
+		t.Fatal("sequential accepted wrong outbox length")
+	}
+	if _, err := RunGoroutines(tp, bad, nil); err == nil {
+		t.Fatal("goroutines accepted wrong outbox length")
+	}
+}
+
+type badSender struct{}
+
+func (badSender) Send(r int) []Message        { return make([]Message, 1) }
+func (badSender) Receive(int, []Message) bool { return false }

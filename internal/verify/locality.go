@@ -1,0 +1,128 @@
+package verify
+
+import (
+	"fmt"
+
+	"github.com/distec/distec/internal/graph"
+)
+
+// Algorithm is a deterministic edge algorithm under locality test: it maps a
+// graph to a per-edge output and reports the number of LOCAL rounds it used.
+type Algorithm func(g *graph.Graph) (out []int, rounds int, err error)
+
+// CheckLocality empirically falsifies overclaimed round counts: an algorithm
+// that runs in r rounds on the edge-conflict topology can only depend, at
+// edge e, on the ball of radius r around e in the line graph. The checker
+// rewires pairs of edges far outside that ball — an operation that preserves
+// n, m, every node degree (hence Δ and Δ̄) and all edge IDs, so the
+// algorithm's global schedule is unchanged — and asserts that e's output is
+// identical on the rewired graph.
+//
+// probe is the edge whose output is pinned; attempts bounds the number of
+// far-pair rewirings tried. A nil error means no violation was found.
+func CheckLocality(g *graph.Graph, alg Algorithm, probe graph.EdgeID, attempts int, seed uint64) error {
+	base, rounds, err := alg(g)
+	if err != nil {
+		return fmt.Errorf("verify: baseline run: %w", err)
+	}
+	dist := edgeDistances(g, probe)
+	// Candidate edges strictly outside radius rounds+1 (margin 1: rewired
+	// edges must stay outside the ball even after reconnection).
+	var far []graph.EdgeID
+	for e := 0; e < g.M(); e++ {
+		if dist[e] > rounds+1 {
+			far = append(far, graph.EdgeID(e))
+		}
+	}
+	if len(far) < 2 {
+		return nil // ball covers the graph: locality is vacuous here
+	}
+	s := seed
+	next := func(n int) int {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return int(z % uint64(n))
+	}
+	tried := 0
+	for i := 0; i < attempts*8 && tried < attempts; i++ {
+		e1 := far[next(len(far))]
+		e2 := far[next(len(far))]
+		h, ok := rewire(g, e1, e2)
+		if !ok {
+			continue
+		}
+		tried++
+		got, _, err := alg(h)
+		if err != nil {
+			return fmt.Errorf("verify: rewired run: %w", err)
+		}
+		if got[probe] != base[probe] {
+			return fmt.Errorf("verify: locality violated: edge %d output changed %d -> %d after rewiring edges %d,%d at distance > %d",
+				probe, base[probe], got[probe], e1, e2, rounds+1)
+		}
+	}
+	return nil
+}
+
+// edgeDistances returns line-graph hop distances from the source edge (BFS).
+func edgeDistances(g *graph.Graph, src graph.EdgeID) []int {
+	dist := make([]int, g.M())
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	dist[src] = 0
+	queue := []graph.EdgeID{src}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		g.ForEachEdgeNeighbor(e, func(f graph.EdgeID) {
+			if dist[f] > dist[e]+1 {
+				dist[f] = dist[e] + 1
+				queue = append(queue, f)
+			}
+		})
+	}
+	return dist
+}
+
+// rewire builds a copy of g in which edges e1={a,b} and e2={c,d} are
+// replaced by {a,d} and {c,b}, preserving all node degrees and all edge
+// positions (IDs). Returns ok=false when the swap would create a self-loop
+// or duplicate edge, or when e1 and e2 share a node.
+func rewire(g *graph.Graph, e1, e2 graph.EdgeID) (*graph.Graph, bool) {
+	if e1 == e2 {
+		return nil, false
+	}
+	a, b := g.Endpoints(e1)
+	c, d := g.Endpoints(e2)
+	if a == c || a == d || b == c || b == d {
+		return nil, false
+	}
+	type pair struct{ u, v int }
+	edges := make([]pair, g.M())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		edges[e] = pair{u, v}
+	}
+	edges[e1] = pair{a, d}
+	edges[e2] = pair{c, b}
+	seen := make(map[[2]int]bool, len(edges))
+	h := graph.New(g.N())
+	for _, pr := range edges {
+		u, v := pr.u, pr.v
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			return nil, false
+		}
+		seen[[2]int{u, v}] = true
+		if _, err := h.AddEdge(pr.u, pr.v); err != nil {
+			return nil, false
+		}
+	}
+	return h, true
+}
