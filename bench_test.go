@@ -13,6 +13,7 @@ import (
 	"github.com/distec/distec/internal/local"
 	"github.com/distec/distec/internal/pseudoforest"
 	"github.com/distec/distec/internal/randomized"
+	"github.com/distec/distec/internal/sharded"
 )
 
 // The benchmarks below regenerate each experiment of DESIGN.md §2 at smoke
@@ -53,7 +54,7 @@ func BenchmarkE10_Walkthrough(b *testing.B) {
 	g := graph.GNP(18, 0.33, 5)
 	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
 	for i := 0; i < b.N; i++ {
-		res, err := core.SolveGraph(in, core.Practical(), local.RunSequential)
+		res, err := core.SolveGraph(in, core.Practical(), local.Sequential)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkLinialReduce(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := linial.Reduce(tp, init, tp.N(), local.RunSequential); err != nil {
+		if _, _, err := linial.Reduce(tp, init, tp.N(), local.Sequential); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +95,7 @@ func BenchmarkLinialReduce(b *testing.B) {
 func BenchmarkDefectiveColoring(b *testing.B) {
 	g := graph.RandomRegular(512, 16, 3)
 	for i := 0; i < b.N; i++ {
-		if _, err := defective.ColorGraph(g, nil, 2, local.RunSequential); err != nil {
+		if _, err := defective.ColorGraph(g, nil, 2, local.Sequential); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +106,7 @@ func BenchmarkSolverBKO(b *testing.B) {
 	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
 	var rounds int
 	for i := 0; i < b.N; i++ {
-		res, err := core.SolveGraph(in, core.Practical(), local.RunSequential)
+		res, err := core.SolveGraph(in, core.Practical(), local.Sequential)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func BenchmarkSolverPR01(b *testing.B) {
 	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
 	var rounds int
 	for i := 0; i < b.N; i++ {
-		_, stats, err := pseudoforest.Solve(g, nil, in.Lists, local.RunSequential)
+		_, stats, err := pseudoforest.Solve(g, nil, in.Lists, local.Sequential)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func BenchmarkSolverRandomized(b *testing.B) {
 	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
 	var rounds int
 	for i := 0; i < b.N; i++ {
-		_, stats, err := randomized.Solve(g, nil, in.Lists, uint64(i), local.RunSequential)
+		_, stats, err := randomized.Solve(g, nil, in.Lists, uint64(i), local.Sequential)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,10 +143,11 @@ func BenchmarkSolverRandomized(b *testing.B) {
 	b.ReportMetric(float64(rounds), "LOCALrounds")
 }
 
-func BenchmarkEngineSequential(b *testing.B) { benchEngine(b, local.RunSequential) }
-func BenchmarkEngineGoroutines(b *testing.B) { benchEngine(b, local.RunGoroutines) }
+func BenchmarkEngineSequential(b *testing.B) { benchEngine(b, local.Sequential) }
+func BenchmarkEngineGoroutines(b *testing.B) { benchEngine(b, local.Goroutines) }
+func BenchmarkEngineSharded(b *testing.B)    { benchEngine(b, sharded.Default) }
 
-func benchEngine(b *testing.B, run local.Runner) {
+func benchEngine(b *testing.B, run local.Engine) {
 	b.Helper()
 	g := graph.RandomRegular(256, 8, 5)
 	tp := local.EdgeConflict(g)
@@ -157,6 +159,79 @@ func benchEngine(b *testing.B, run local.Runner) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := linial.Reduce(tp, init, tp.N(), run); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchFlood is the engine-comparison protocol: every entity broadcasts the
+// largest index it has seen on all ports for a fixed number of rounds. It is
+// deterministic, message-dense (one message per directed link per round),
+// and algorithm-free, so the benchmark isolates pure engine overhead.
+type benchFlood struct {
+	v      local.View
+	rounds int
+	best   int
+	out    []local.Message
+}
+
+func (f *benchFlood) Send(r int) []local.Message {
+	for p := range f.out {
+		f.out[p] = f.best
+	}
+	return f.out
+}
+
+func (f *benchFlood) Receive(r int, inbox []local.Message) bool {
+	for _, m := range inbox {
+		if m != nil {
+			if x := m.(int); x > f.best {
+				f.best = x
+			}
+		}
+	}
+	return r >= f.rounds
+}
+
+// BenchmarkEngines compares the three engines on ≥10⁵-edge workloads
+// (results are recorded in BENCH_engines.json). Ring and regular flood on
+// the edge-conflict topology (one entity per edge, so entity-count scaling
+// dominates); complete-bipartite floods on the node topology, where the
+// per-round message volume of ~2m dominates. The goroutine engine pays
+// Θ(entities) barrier operations and one channel operation per message per
+// round; the sharded engine pays two pool-wide barriers per round and
+// batched slice appends.
+func BenchmarkEngines(b *testing.B) {
+	const rounds = 8
+	workloads := []struct {
+		name  string
+		build func() *local.Topology
+	}{
+		// 10⁵ edge entities of conflict degree 2.
+		{"ring-100k", func() *local.Topology { return local.EdgeConflict(graph.Cycle(100_000)) }},
+		// 10⁵ edge entities of conflict degree 14.
+		{"regular-100k", func() *local.Topology { return local.EdgeConflict(graph.RandomRegular(25_000, 8, 6)) }},
+		// K(320,320): 102 400 edges; ~2·10⁵ messages per round on the node topology.
+		{"bipartite-102k", func() *local.Topology { return local.FromGraph(graph.CompleteBipartite(320, 320)) }},
+	}
+	for _, w := range workloads {
+		tp := w.build()
+		factory := func(v local.View) local.Protocol {
+			return &benchFlood{v: v, rounds: rounds, best: v.Index, out: make([]local.Message, v.Degree)}
+		}
+		for _, eng := range []local.Engine{local.Sequential, local.Goroutines, sharded.Default} {
+			b.Run(w.name+"/"+eng.Name(), func(b *testing.B) {
+				var stats local.Stats
+				for i := 0; i < b.N; i++ {
+					var err error
+					if stats, err = eng.Run(tp, factory, nil); err != nil {
+						b.Fatal(err)
+					}
+					if stats.Rounds != rounds {
+						b.Fatalf("rounds = %d, want %d", stats.Rounds, rounds)
+					}
+				}
+				b.ReportMetric(float64(stats.Messages)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmsg/s")
+			})
 		}
 	}
 }

@@ -5,6 +5,7 @@
 //
 //	edgecolor -gen regular -n 1024 -d 16 -alg bko
 //	edgecolor -in graph.txt -alg pr01 -engine goroutines
+//	edgecolor -gen regular -n 30000 -d 8 -alg pr01 -engine sharded -shards 4
 //	graphgen -family gnp -n 500 -p 0.02 | edgecolor -alg randomized
 //
 // The input format is the plain edge list of cmd/graphgen ("n m" header,
@@ -29,7 +30,8 @@ func main() {
 		p       = flag.Float64("p", 0.05, "edge probability / radius for -gen gnp|geometric")
 		seed    = flag.Uint64("seed", 1, "generator / randomized-algorithm seed")
 		alg     = flag.String("alg", "bko", "algorithm: bko|bko-theory|pr01|greedy-classes|randomized")
-		engine  = flag.String("engine", "sequential", "engine: sequential|goroutines")
+		engine  = flag.String("engine", "sequential", "engine: sequential|goroutines|sharded")
+		shards  = flag.Int("shards", 0, "worker count for -engine sharded (default: one per core)")
 		palette = flag.Int("palette", 0, "palette size (default 2Δ−1)")
 		dump    = flag.Bool("dump", false, "print per-edge colors")
 	)
@@ -43,6 +45,7 @@ func main() {
 	opts := distec.Options{
 		Algorithm: distec.Algorithm(*alg),
 		Engine:    distec.Engine(*engine),
+		Shards:    *shards,
 		Palette:   *palette,
 		Seed:      *seed,
 	}

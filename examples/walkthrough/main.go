@@ -33,7 +33,7 @@ func main() {
 
 	// ---- Figure 1: defective edge coloring with parameter β. ----
 	beta := 1
-	def, err := defective.ColorGraph(g, nil, beta, local.RunSequential)
+	def, err := defective.ColorGraph(g, nil, beta, local.Sequential)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func main() {
 			fmt.Printf("Figure 4 — class %d: every member's list shrank to ≤ deg(e)/2 → deferred to the recursion\n", class)
 			continue
 		}
-		got, _, err := listcolor.SolvePairs(defective.GraphPairs(g), subActive, subLists, nil, 0, local.RunSequential)
+		got, _, err := listcolor.SolvePairs(defective.GraphPairs(g), subActive, subLists, nil, 0, local.Sequential)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -152,7 +152,7 @@ func main() {
 				}
 			}
 		}
-		got, _, err := listcolor.SolvePairs(defective.GraphPairs(g), cur, lists, nil, 0, local.RunSequential)
+		got, _, err := listcolor.SolvePairs(defective.GraphPairs(g), cur, lists, nil, 0, local.Sequential)
 		if err != nil {
 			log.Fatal(err)
 		}

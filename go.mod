@@ -1,0 +1,3 @@
+module github.com/distec/distec
+
+go 1.22

@@ -13,6 +13,7 @@ import (
 	"github.com/distec/distec/internal/local"
 	"github.com/distec/distec/internal/pseudoforest"
 	"github.com/distec/distec/internal/randomized"
+	"github.com/distec/distec/internal/sharded"
 	"github.com/distec/distec/internal/verify"
 )
 
@@ -38,14 +39,14 @@ func E1RoundsVsDelta(scale Scale) (*Table, error) {
 	for _, d := range ds {
 		g := graph.RandomRegular(n, d, 7)
 		in := uniform(g)
-		res, err := core.SolveGraph(in, core.Practical(), local.RunSequential)
+		res, err := core.SolveGraph(in, core.Practical(), local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E1 d=%d BKO: %w", d, err)
 		}
 		if err := verify.EdgeColoring(g, nil, res.Colors); err != nil {
 			return nil, fmt.Errorf("E1 d=%d BKO verify: %w", d, err)
 		}
-		prColors, prStats, err := pseudoforest.Solve(g, nil, in.Lists, local.RunSequential)
+		prColors, prStats, err := pseudoforest.Solve(g, nil, in.Lists, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E1 d=%d PR01: %w", d, err)
 		}
@@ -54,13 +55,13 @@ func E1RoundsVsDelta(scale Scale) (*Table, error) {
 		}
 		baseCell := "—"
 		if g.MaxEdgeDegree() <= 130 {
-			_, bStats, err := listcolor.SolveBase(in, nil, 0, local.RunSequential)
+			_, bStats, err := listcolor.SolveBase(in, nil, 0, local.Sequential)
 			if err != nil {
 				return nil, fmt.Errorf("E1 d=%d base: %w", d, err)
 			}
 			baseCell = itoa(bStats.Rounds)
 		}
-		_, rStats, err := randomized.Solve(g, nil, in.Lists, 5, local.RunSequential)
+		_, rStats, err := randomized.Solve(g, nil, in.Lists, 5, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E1 d=%d randomized: %w", d, err)
 		}
@@ -98,11 +99,11 @@ func E2RoundsVsN(scale Scale) (*Table, error) {
 	for _, n := range ns {
 		g := graph.RandomRegular(n, d, 11)
 		in := uniform(g)
-		res, err := core.SolveGraph(in, core.Practical(), local.RunSequential)
+		res, err := core.SolveGraph(in, core.Practical(), local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E2 n=%d: %w", n, err)
 		}
-		_, prStats, err := pseudoforest.Solve(g, nil, in.Lists, local.RunSequential)
+		_, prStats, err := pseudoforest.Solve(g, nil, in.Lists, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E2 n=%d PR01: %w", n, err)
 		}
@@ -128,7 +129,7 @@ func E3SlackReduction(scale Scale) (*Table, error) {
 	}
 	g := graph.RandomRegular(n, d, 3)
 	in := uniform(g)
-	res, err := core.SolveGraph(in, core.Practical(), local.RunSequential)
+	res, err := core.SolveGraph(in, core.Practical(), local.Sequential)
 	if err != nil {
 		return nil, fmt.Errorf("E3: %w", err)
 	}
@@ -170,7 +171,7 @@ func E4Defective(scale Scale) (*Table, error) {
 		Header: []string{"workload", "β", "Δ̄", "max defect", "bound max deg(e)/2β", "colors used", "palette bound", "rounds"},
 	}
 	add := func(name string, g *graph.Graph, beta int) error {
-		res, err := defective.ColorGraph(g, nil, beta, local.RunSequential)
+		res, err := defective.ColorGraph(g, nil, beta, local.Sequential)
 		if err != nil {
 			return fmt.Errorf("E4 %s β=%d: %w", name, beta, err)
 		}
@@ -295,7 +296,7 @@ func E6SpaceReduction(scale Scale) (*Table, error) {
 	for _, p := range []int{4, 8, 16, 32} {
 		params := core.Practical()
 		params.Strict = true // assert Eq. (2) per edge, not just report
-		res, err := core.SpaceReduceOnce(pairs, nil, lists, c, p, params, local.RunSequential)
+		res, err := core.SpaceReduceOnce(pairs, nil, lists, c, p, params, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E6 p=%d: %w", p, err)
 		}
@@ -333,7 +334,7 @@ func E7Chain(scale Scale) (*Table, error) {
 	for size > 8 {
 		level++
 		params := core.Practical()
-		res, err := core.SpaceReduceOnce(curPairs, active, lists, size, p, params, local.RunSequential)
+		res, err := core.SpaceReduceOnce(curPairs, active, lists, size, p, params, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E7 level %d: %w", level, err)
 		}
@@ -447,7 +448,7 @@ func E9TheoryPreset(scale Scale) (*Table, error) {
 	for _, d := range ds {
 		g := graph.RandomRegular(256, d, 21)
 		in := uniform(g)
-		res, err := core.SolveGraph(in, params, local.RunSequential)
+		res, err := core.SolveGraph(in, params, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E9 d=%d: %w", d, err)
 		}
@@ -484,7 +485,7 @@ func E11VirtualSplit(scale Scale) (*Table, error) {
 	}
 	for _, p := range []int{16, 32} {
 		params := core.Practical()
-		res, err := core.SpaceReduceOnce(pairs, nil, lists, c, p, params, local.RunSequential)
+		res, err := core.SpaceReduceOnce(pairs, nil, lists, c, p, params, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E11 p=%d: %w", p, err)
 		}
@@ -517,26 +518,26 @@ func E12AlgorithmMatrix(scale Scale) (*Table, error) {
 			continue
 		}
 		in := uniform(g)
-		res, err := core.SolveGraph(in, core.Practical(), local.RunSequential)
+		res, err := core.SolveGraph(in, core.Practical(), local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E12 %s BKO: %w", w.Name, err)
 		}
 		if err := verify.EdgeColoring(g, nil, res.Colors); err != nil {
 			return nil, fmt.Errorf("E12 %s: %w", w.Name, err)
 		}
-		_, prStats, err := pseudoforest.Solve(g, nil, in.Lists, local.RunSequential)
+		_, prStats, err := pseudoforest.Solve(g, nil, in.Lists, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E12 %s PR01: %w", w.Name, err)
 		}
 		baseCell := "—"
 		if g.MaxEdgeDegree() <= 130 {
-			_, bStats, err := listcolor.SolveBase(in, nil, 0, local.RunSequential)
+			_, bStats, err := listcolor.SolveBase(in, nil, 0, local.Sequential)
 			if err != nil {
 				return nil, fmt.Errorf("E12 %s base: %w", w.Name, err)
 			}
 			baseCell = itoa(bStats.Rounds)
 		}
-		_, rStats, err := randomized.Solve(g, nil, in.Lists, 23, local.RunSequential)
+		_, rStats, err := randomized.Solve(g, nil, in.Lists, 23, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E12 %s randomized: %w", w.Name, err)
 		}
@@ -572,7 +573,7 @@ func E13AblationPhases(scale Scale) (*Table, error) {
 	}{{"phased (Lemma 4.3)", false}, {"direct argmax (ablation)", true}} {
 		params := core.Practical()
 		params.DirectAssignment = variant.direct
-		res, err := core.SpaceReduceOnce(pairs, nil, lists, c, 16, params, local.RunSequential)
+		res, err := core.SpaceReduceOnce(pairs, nil, lists, c, 16, params, local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E13 %s: %w", variant.name, err)
 		}
@@ -586,8 +587,8 @@ func E13AblationPhases(scale Scale) (*Table, error) {
 	return t, nil
 }
 
-// E14Engines cross-checks the two execution engines: identical outputs and
-// stats, with the wall-clock ratio reported.
+// E14Engines cross-checks the three execution engines: identical outputs
+// and stats, with the wall-clock ratios against the sequential reference.
 func E14Engines(scale Scale) (*Table, error) {
 	n, d := 256, 8
 	if scale == Smoke {
@@ -598,14 +599,14 @@ func E14Engines(scale Scale) (*Table, error) {
 	t := &Table{
 		ID:     "E14",
 		Title:  fmt.Sprintf("Engine cross-check on %d-regular n=%d", d, n),
-		Header: []string{"protocol", "rounds (seq)", "rounds (goroutine)", "identical output", "wall ratio (gor/seq)"},
+		Header: []string{"protocol", "rounds", "identical output", "wall ratio (gor/seq)", "wall ratio (shard/seq)"},
 	}
 	type algo struct {
 		name string
-		run  func(run local.Runner) ([]int, local.Stats, error)
+		run  func(run local.Engine) ([]int, local.Stats, error)
 	}
 	algos := []algo{
-		{"linial O(Δ̄²)-coloring", func(r local.Runner) ([]int, local.Stats, error) {
+		{"linial O(Δ̄²)-coloring", func(r local.Engine) ([]int, local.Stats, error) {
 			tp := local.EdgeConflict(g)
 			init := make([]int, tp.N())
 			for i := range init {
@@ -613,17 +614,17 @@ func E14Engines(scale Scale) (*Table, error) {
 			}
 			return linial.Reduce(tp, init, tp.N(), r)
 		}},
-		{"defective β=2", func(r local.Runner) ([]int, local.Stats, error) {
+		{"defective β=2", func(r local.Engine) ([]int, local.Stats, error) {
 			res, err := defective.ColorGraph(g, nil, 2, r)
 			if err != nil {
 				return nil, local.Stats{}, err
 			}
 			return res.Colors, res.Stats, nil
 		}},
-		{"pseudoforest PR01", func(r local.Runner) ([]int, local.Stats, error) {
+		{"pseudoforest PR01", func(r local.Engine) ([]int, local.Stats, error) {
 			return pseudoforest.Solve(g, nil, in.Lists, r)
 		}},
-		{"BKO full", func(r local.Runner) ([]int, local.Stats, error) {
+		{"BKO full", func(r local.Engine) ([]int, local.Stats, error) {
 			res, err := core.SolveGraph(in, core.Practical(), r)
 			if err != nil {
 				return nil, local.Stats{}, err
@@ -633,32 +634,36 @@ func E14Engines(scale Scale) (*Table, error) {
 	}
 	for _, a := range algos {
 		t0 := time.Now()
-		seqOut, seqStats, err := a.run(local.RunSequential)
+		seqOut, seqStats, err := a.run(local.Sequential)
 		if err != nil {
 			return nil, fmt.Errorf("E14 %s seq: %w", a.name, err)
 		}
 		seqWall := time.Since(t0)
-		t0 = time.Now()
-		gorOut, gorStats, err := a.run(local.RunGoroutines)
-		if err != nil {
-			return nil, fmt.Errorf("E14 %s gor: %w", a.name, err)
-		}
-		gorWall := time.Since(t0)
-		same := seqStats == gorStats
-		for i := range seqOut {
-			if seqOut[i] != gorOut[i] {
-				same = false
-				break
+		walls := make([]time.Duration, 0, 2)
+		for _, eng := range []local.Engine{local.Goroutines, sharded.Default} {
+			t0 = time.Now()
+			out, stats, err := a.run(eng)
+			if err != nil {
+				return nil, fmt.Errorf("E14 %s %s: %w", a.name, eng.Name(), err)
+			}
+			walls = append(walls, time.Since(t0))
+			same := seqStats == stats
+			for i := range seqOut {
+				if seqOut[i] != out[i] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				return nil, fmt.Errorf("E14 %s: %s disagrees with sequential", a.name, eng.Name())
 			}
 		}
-		if !same {
-			return nil, fmt.Errorf("E14 %s: engines disagree", a.name)
-		}
-		ratio := float64(gorWall) / float64(seqWall+1)
-		t.AddRow(a.name, itoa(seqStats.Rounds), itoa(gorStats.Rounds), "yes", f2(ratio))
+		t.AddRow(a.name, itoa(seqStats.Rounds), "yes",
+			f2(float64(walls[0])/float64(seqWall+1)), f2(float64(walls[1])/float64(seqWall+1)))
 	}
 	t.Note("The goroutine engine runs one goroutine per entity with per-link channels and barrier rounds; " +
-		"identical results certify that every protocol is an honest message-passing program.")
+		"the sharded engine batches messages between a fixed worker pool. " +
+		"Identical results certify that every protocol is an honest message-passing program.")
 	return t, nil
 }
 

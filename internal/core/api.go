@@ -12,7 +12,7 @@ import (
 // SolveGraph runs the full algorithm on a list edge coloring instance over a
 // graph (package listcolor). It is the main entry point for the public API
 // and the experiments.
-func SolveGraph(in *listcolor.Instance, params Params, run local.Runner) (*Result, error) {
+func SolveGraph(in *listcolor.Instance, params Params, run local.Engine) (*Result, error) {
 	if err := in.Validate(1); err != nil {
 		return nil, fmt.Errorf("core: invalid instance: %w", err)
 	}
@@ -51,12 +51,12 @@ type SpaceReduceResult struct {
 // parameter p to an instance whose lists draw from the palette [0, C). It
 // is the experiment hook behind E6 (Eq. (2) quality), E11 (virtual split)
 // and E13 (phased vs direct ablation).
-func SpaceReduceOnce(pairs [][2]int64, active []bool, lists [][]int, c, p int, params Params, run local.Runner) (*SpaceReduceResult, error) {
+func SpaceReduceOnce(pairs [][2]int64, active []bool, lists [][]int, c, p int, params Params, run local.Engine) (*SpaceReduceResult, error) {
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
 	if run == nil {
-		run = local.RunSequential
+		run = local.Sequential
 	}
 	m := len(pairs)
 	if active == nil {

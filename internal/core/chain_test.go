@@ -11,7 +11,7 @@ import (
 // for white-box tests of the internal lemma implementations.
 func newTestSolver(t *testing.T, pairs [][2]int64, params Params) *Solver {
 	t.Helper()
-	s := &Solver{params: params, run: local.RunSequential, trace: &Trace{}}
+	s := &Solver{params: params, run: local.Sequential, trace: &Trace{}}
 	active := make([]bool, len(pairs))
 	for i := range active {
 		active[i] = true

@@ -66,7 +66,7 @@ func TestSolvePracticalOnFamilies(t *testing.T) {
 				t.Skip("degenerate")
 			}
 			in := listcolor.NewUniform(tc.g, c)
-			res, err := SolveGraph(in, Practical(), local.RunSequential)
+			res, err := SolveGraph(in, Practical(), local.Sequential)
 			if err != nil {
 				t.Fatalf("SolveGraph: %v", err)
 			}
@@ -84,7 +84,7 @@ func TestSolveTheoryPresetCorrect(t *testing.T) {
 	// still be a valid coloring, with the bailout recorded.
 	g := graph.RandomRegular(50, 8, 7)
 	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
-	res, err := SolveGraph(in, Theory(1, 1), local.RunSequential)
+	res, err := SolveGraph(in, Theory(1, 1), local.Sequential)
 	if err != nil {
 		t.Fatalf("SolveGraph: %v", err)
 	}
@@ -101,7 +101,7 @@ func TestSolveDegreeLists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := SolveGraph(in, Practical(), local.RunSequential)
+	res, err := SolveGraph(in, Practical(), local.Sequential)
 	if err != nil {
 		t.Fatalf("SolveGraph: %v", err)
 	}
@@ -114,7 +114,7 @@ func TestSolvePartialInstance(t *testing.T) {
 	for e := 0; e < g.M(); e += 3 {
 		in.Active[e] = false
 	}
-	res, err := SolveGraph(in, Practical(), local.RunSequential)
+	res, err := SolveGraph(in, Practical(), local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestSolveExercisesMachinery(t *testing.T) {
 	// colorings and chain levels rather than bailing straight to base.
 	g := graph.RandomRegular(64, 16, 5)
 	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
-	res, err := SolveGraph(in, Practical(), local.RunSequential)
+	res, err := SolveGraph(in, Practical(), local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestSpaceReduceOnceEq2(t *testing.T) {
 	}
 	params := Practical()
 	params.Strict = true // assert Eq. (2) per edge
-	res, err := SpaceReduceOnce(pairs, nil, lists, c, 16, params, local.RunSequential)
+	res, err := SpaceReduceOnce(pairs, nil, lists, c, 16, params, local.Sequential)
 	if err != nil {
 		t.Fatalf("SpaceReduceOnce: %v", err)
 	}
@@ -286,11 +286,11 @@ func TestSpaceReduceAblationWorse(t *testing.T) {
 	phased := Practical()
 	direct := Practical()
 	direct.DirectAssignment = true
-	rp, err := SpaceReduceOnce(pairs, nil, lists, c, 16, phased, local.RunSequential)
+	rp, err := SpaceReduceOnce(pairs, nil, lists, c, 16, phased, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := SpaceReduceOnce(pairs, nil, lists, c, 16, direct, local.RunSequential)
+	rd, err := SpaceReduceOnce(pairs, nil, lists, c, 16, direct, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,11 +304,11 @@ func TestSpaceReduceAblationWorse(t *testing.T) {
 func TestEnginesAgreeOnSolve(t *testing.T) {
 	g := graph.RandomRegular(36, 8, 13)
 	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
-	a, err := SolveGraph(in, Practical(), local.RunSequential)
+	a, err := SolveGraph(in, Practical(), local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SolveGraph(in, Practical(), local.RunGoroutines)
+	b, err := SolveGraph(in, Practical(), local.Goroutines)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +357,7 @@ func TestSolveProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := SolveGraph(in, Practical(), local.RunSequential)
+		res, err := SolveGraph(in, Practical(), local.Sequential)
 		if err != nil {
 			return false
 		}
@@ -397,7 +397,7 @@ func TestSolveProperty(t *testing.T) {
 func TestSweepsBounded(t *testing.T) {
 	g := graph.RandomRegular(80, 20, 17)
 	in := listcolor.NewUniform(g, 2*g.MaxDegree()-1)
-	res, err := SolveGraph(in, Practical(), local.RunSequential)
+	res, err := SolveGraph(in, Practical(), local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func TestE2PathEngages(t *testing.T) {
 	}
 	params := Practical()
 	params.Strict = true
-	res, err := SpaceReduceOnce(pairs, nil, lists, c, 32, params, local.RunSequential)
+	res, err := SpaceReduceOnce(pairs, nil, lists, c, 32, params, local.Sequential)
 	if err != nil {
 		t.Fatalf("SpaceReduceOnce: %v", err)
 	}
@@ -69,7 +69,7 @@ func TestPhasesEngageWithRecursion(t *testing.T) {
 	}
 	params := Practical()
 	params.Strict = true
-	res, err := SpaceReduceOnce(pairs, nil, lists, c, 32, params, local.RunSequential)
+	res, err := SpaceReduceOnce(pairs, nil, lists, c, 32, params, local.Sequential)
 	if err != nil {
 		t.Fatalf("SpaceReduceOnce: %v", err)
 	}
@@ -101,7 +101,7 @@ func TestLevelHistogramMatchesHelper(t *testing.T) {
 		lists[e] = palette
 	}
 	p := 8
-	res, err := SpaceReduceOnce(pairs, nil, lists, c, p, Practical(), local.RunSequential)
+	res, err := SpaceReduceOnce(pairs, nil, lists, c, p, Practical(), local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ type instance struct {
 // universe. It is created per Solve call and is not safe for concurrent use.
 type Solver struct {
 	params   Params
-	run      local.Runner
+	run      local.Engine
 	baseCols []int // proper O(Δ̄²)-coloring of the full active conflict system
 	baseX    int
 	trace    *Trace
@@ -52,12 +52,12 @@ type Result struct {
 // deferrals are retried by the enclosing sweeps and the final base solve is
 // guaranteed by the invariant that coloring a neighbor removes at most one
 // list color while reducing the uncolored degree by exactly one.
-func Solve(pairs [][2]int64, active []bool, lists [][]int, c int, params Params, run local.Runner) (*Result, error) {
+func Solve(pairs [][2]int64, active []bool, lists [][]int, c int, params Params, run local.Engine) (*Result, error) {
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
 	if run == nil {
-		run = local.RunSequential
+		run = local.Sequential
 	}
 	m := len(pairs)
 	if active == nil {

@@ -70,12 +70,12 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // paid on initX rather than on len(pairs); the paper's recursion hands down
 // the global O(Δ̄²)-coloring here. Pass nil to fall back to item indices
 // (X = len(pairs)).
-func Color(pairs [][2]int64, active []bool, beta int, initColors []int, initX int, run local.Runner) (*Result, error) {
+func Color(pairs [][2]int64, active []bool, beta int, initColors []int, initX int, run local.Engine) (*Result, error) {
 	if beta < 1 {
 		return nil, fmt.Errorf("defective: beta %d < 1", beta)
 	}
 	if run == nil {
-		run = local.RunSequential
+		run = local.Sequential
 	}
 	m := len(pairs)
 	if active != nil {
@@ -226,7 +226,7 @@ func Color(pairs [][2]int64, active []bool, beta int, initColors []int, initX in
 
 // ColorGraph applies Color to the edges of a graph: side keys are the
 // endpoint node IDs, so groups and degrees are exactly the paper's.
-func ColorGraph(g *graph.Graph, active []bool, beta int, run local.Runner) (*Result, error) {
+func ColorGraph(g *graph.Graph, active []bool, beta int, run local.Engine) (*Result, error) {
 	return Color(GraphPairs(g), active, beta, nil, 0, run)
 }
 

@@ -61,7 +61,7 @@ func TestColorFamiliesAndBetas(t *testing.T) {
 	}
 	for _, tg := range graphs {
 		for _, beta := range []int{1, 2, 4} {
-			res, err := ColorGraph(tg.g, nil, beta, local.RunSequential)
+			res, err := ColorGraph(tg.g, nil, beta, local.Sequential)
 			if err != nil {
 				t.Fatalf("%s β=%d: %v", tg.name, beta, err)
 			}
@@ -83,7 +83,7 @@ func TestLargeBetaGivesProperColoring(t *testing.T) {
 	// is 0, and the result must be a proper edge coloring.
 	g := graph.RandomRegular(40, 6, 9)
 	beta := 2 // 4β = 8 ≥ 6
-	res, err := ColorGraph(g, nil, beta, local.RunSequential)
+	res, err := ColorGraph(g, nil, beta, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestSubgraphActivity(t *testing.T) {
 	for e := range active {
 		active[e] = e%3 != 0
 	}
-	res, err := ColorGraph(g, active, 1, local.RunSequential)
+	res, err := ColorGraph(g, active, 1, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestRoundsAreLogStar(t *testing.T) {
 	prev := 0
 	for _, d := range []int{4, 8, 16} {
 		g := graph.RandomRegular(24*d, d, 5)
-		res, err := ColorGraph(g, nil, 2, local.RunSequential)
+		res, err := ColorGraph(g, nil, 2, local.Sequential)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,11 +163,11 @@ func TestMaxDefect(t *testing.T) {
 
 func TestEnginesAgree(t *testing.T) {
 	g := graph.RandomRegular(30, 6, 8)
-	a, err := ColorGraph(g, nil, 1, local.RunSequential)
+	a, err := ColorGraph(g, nil, 1, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ColorGraph(g, nil, 1, local.RunGoroutines)
+	b, err := ColorGraph(g, nil, 1, local.Goroutines)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestDefectProperty(t *testing.T) {
 		if g.M() == 0 {
 			return true
 		}
-		res, err := ColorGraph(g, nil, beta, local.RunSequential)
+		res, err := ColorGraph(g, nil, beta, local.Sequential)
 		if err != nil {
 			return false
 		}

@@ -46,7 +46,7 @@ func TestColorOnPairSystem(t *testing.T) {
 	}
 	// pairs[7] duplicates {100,300} of pairs[5] with swapped order.
 	pairs[7] = [2]int64{300, 100}
-	res, err := Color(pairs, nil, 1, nil, 0, local.RunSequential)
+	res, err := Color(pairs, nil, 1, nil, 0, local.Sequential)
 	if err != nil {
 		t.Fatalf("Color: %v", err)
 	}
@@ -67,7 +67,7 @@ func TestColorWithInitialColoring(t *testing.T) {
 	for i := range init {
 		init[i] = i
 	}
-	res, err := Color(pairs, nil, 2, init, g.M(), local.RunSequential)
+	res, err := Color(pairs, nil, 2, init, g.M(), local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -235,21 +235,21 @@ func (rd *reducer) recolorBelow(target int, inbox []local.Message) {
 // Reduce runs Linial's reduction on topology t, starting from the proper
 // coloring initial (values < X), and returns the resulting coloring with
 // fewer than Colors(X, t.MaxDeg) colors.
-func Reduce(t *local.Topology, initial []int, x int, run local.Runner) ([]int, local.Stats, error) {
+func Reduce(t *local.Topology, initial []int, x int, run local.Engine) ([]int, local.Stats, error) {
 	return reduce(t, initial, x, -1, run)
 }
 
 // ReduceToTarget runs Linial's reduction and then eliminates color classes
 // one round at a time until only target colors remain. Requires
 // target ≥ t.MaxDeg+1 (otherwise a greedy recoloring step can get stuck).
-func ReduceToTarget(t *local.Topology, initial []int, x, target int, run local.Runner) ([]int, local.Stats, error) {
+func ReduceToTarget(t *local.Topology, initial []int, x, target int, run local.Engine) ([]int, local.Stats, error) {
 	if target < t.MaxDeg+1 {
 		return nil, local.Stats{}, fmt.Errorf("linial: target %d < maxDeg+1 = %d", target, t.MaxDeg+1)
 	}
 	return reduce(t, initial, x, target, run)
 }
 
-func reduce(t *local.Topology, initial []int, x, target int, run local.Runner) ([]int, local.Stats, error) {
+func reduce(t *local.Topology, initial []int, x, target int, run local.Engine) ([]int, local.Stats, error) {
 	n := t.N()
 	if len(initial) != n {
 		return nil, local.Stats{}, fmt.Errorf("linial: %d initial colors for %d entities", len(initial), n)
@@ -269,7 +269,7 @@ func reduce(t *local.Topology, initial []int, x, target int, run local.Runner) (
 		}
 	}
 	if run == nil {
-		run = local.RunSequential
+		run = local.Sequential
 	}
 	out := make([]int, n)
 	if t.MaxDeg == 0 {
@@ -299,7 +299,7 @@ func reduce(t *local.Topology, initial []int, x, target int, run local.Runner) (
 			errs:   errs,
 		}
 	}
-	stats, err := run(t, factory, nil)
+	stats, err := run.Run(t, factory, nil)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -83,7 +83,7 @@ func TestReduceOnFamilies(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			tp := local.FromGraph(tc.g)
 			init := identityColors(tp.N())
-			colors, stats, err := Reduce(tp, init, tp.N(), local.RunSequential)
+			colors, stats, err := Reduce(tp, init, tp.N(), local.Sequential)
 			if err != nil {
 				t.Fatalf("Reduce: %v", err)
 			}
@@ -106,7 +106,7 @@ func TestReduceOnFamilies(t *testing.T) {
 func TestReduceOnEdgeTopology(t *testing.T) {
 	g := graph.RandomRegular(48, 5, 6)
 	tp := local.EdgeConflict(g)
-	colors, _, err := Reduce(tp, identityColors(tp.N()), tp.N(), local.RunSequential)
+	colors, _, err := Reduce(tp, identityColors(tp.N()), tp.N(), local.Sequential)
 	if err != nil {
 		t.Fatalf("Reduce: %v", err)
 	}
@@ -132,11 +132,11 @@ func TestEnginesAgree(t *testing.T) {
 	g := graph.RandomRegular(40, 4, 11)
 	tp := local.EdgeConflict(g)
 	init := identityColors(tp.N())
-	seqColors, seqStats, err := Reduce(tp, init, tp.N(), local.RunSequential)
+	seqColors, seqStats, err := Reduce(tp, init, tp.N(), local.Sequential)
 	if err != nil {
 		t.Fatalf("sequential: %v", err)
 	}
-	goColors, goStats, err := Reduce(tp, init, tp.N(), local.RunGoroutines)
+	goColors, goStats, err := Reduce(tp, init, tp.N(), local.Goroutines)
 	if err != nil {
 		t.Fatalf("goroutines: %v", err)
 	}
@@ -153,7 +153,7 @@ func TestEnginesAgree(t *testing.T) {
 func TestReduceToTarget(t *testing.T) {
 	g := graph.RandomRegular(50, 3, 4)
 	tp := local.FromGraph(g) // max degree 3
-	colors, _, err := ReduceToTarget(tp, identityColors(tp.N()), tp.N(), 4, local.RunSequential)
+	colors, _, err := ReduceToTarget(tp, identityColors(tp.N()), tp.N(), 4, local.Sequential)
 	if err != nil {
 		t.Fatalf("ReduceToTarget: %v", err)
 	}
@@ -177,7 +177,7 @@ func TestReduceToTargetRejectsTooFewColors(t *testing.T) {
 func TestThreeColorPaths(t *testing.T) {
 	for _, g := range []*graph.Graph{graph.Cycle(100), graph.Path(77), graph.Cycle(3)} {
 		tp := local.FromGraph(g)
-		colors, stats, err := ThreeColorPaths(tp, identityColors(tp.N()), tp.N(), local.RunSequential)
+		colors, stats, err := ThreeColorPaths(tp, identityColors(tp.N()), tp.N(), local.Sequential)
 		if err != nil {
 			t.Fatalf("%v: %v", g, err)
 		}
@@ -206,7 +206,7 @@ func TestThreeColorPathsRejectsHighDegree(t *testing.T) {
 func TestImproperInputDetected(t *testing.T) {
 	tp := local.FromGraph(graph.Complete(4))
 	bad := []int{0, 0, 1, 2} // entities 0,1 adjacent with same color
-	if _, _, err := Reduce(tp, bad, 4, local.RunSequential); err == nil {
+	if _, _, err := Reduce(tp, bad, 4, local.Sequential); err == nil {
 		t.Fatal("improper input coloring not detected")
 	}
 }
@@ -230,7 +230,7 @@ func TestReduceProperty(t *testing.T) {
 			return true
 		}
 		tp := local.EdgeConflict(g)
-		colors, _, err := Reduce(tp, identityColors(tp.N()), tp.N(), local.RunSequential)
+		colors, _, err := Reduce(tp, identityColors(tp.N()), tp.N(), local.Sequential)
 		if err != nil {
 			return false
 		}

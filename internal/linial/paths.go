@@ -11,7 +11,7 @@ import (
 // the paper's defective edge coloring uses: "edges that have the same color
 // and are incident to the same group form paths or cycles. We can 3-color the
 // edges of these paths and cycles independently in O(log* X) rounds" (§4.1).
-func ThreeColorPaths(t *local.Topology, initial []int, x int, run local.Runner) ([]int, local.Stats, error) {
+func ThreeColorPaths(t *local.Topology, initial []int, x int, run local.Engine) ([]int, local.Stats, error) {
 	if t.MaxDeg > 2 {
 		return nil, local.Stats{}, fmt.Errorf("linial: ThreeColorPaths on topology with max degree %d > 2", t.MaxDeg)
 	}

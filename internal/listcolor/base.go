@@ -21,7 +21,7 @@ import (
 // IDs (X = g.M()).
 //
 // The returned slice maps EdgeID to chosen color, −1 for inactive edges.
-func SolveBase(in *Instance, initColors []int, initX int, run local.Runner) ([]int, local.Stats, error) {
+func SolveBase(in *Instance, initColors []int, initX int, run local.Engine) ([]int, local.Stats, error) {
 	g := in.G
 	pairs := make([][2]int64, g.M())
 	for e := 0; e < g.M(); e++ {

@@ -55,7 +55,7 @@ func TestNewUniformSolvesFamilies(t *testing.T) {
 			if err := in.Validate(1); err != nil {
 				t.Fatalf("Validate: %v", err)
 			}
-			colors, stats, err := SolveBase(in, nil, 0, local.RunSequential)
+			colors, stats, err := SolveBase(in, nil, 0, local.Sequential)
 			if err != nil {
 				t.Fatalf("SolveBase: %v", err)
 			}
@@ -76,7 +76,7 @@ func TestDegreeListsSolve(t *testing.T) {
 	if err := in.Validate(1); err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
-	colors, _, err := SolveBase(in, nil, 0, local.RunSequential)
+	colors, _, err := SolveBase(in, nil, 0, local.Sequential)
 	if err != nil {
 		t.Fatalf("SolveBase: %v", err)
 	}
@@ -99,7 +99,7 @@ func TestPartialInstance(t *testing.T) {
 			in.Active[e] = false
 		}
 	}
-	colors, _, err := SolveBase(in, nil, 0, local.RunSequential)
+	colors, _, err := SolveBase(in, nil, 0, local.Sequential)
 	if err != nil {
 		t.Fatalf("SolveBase: %v", err)
 	}
@@ -114,7 +114,7 @@ func TestSolveBaseWithInitialColoring(t *testing.T) {
 	for e := range init {
 		init[e] = e
 	}
-	colors, _, err := SolveBase(in, init, g.M(), local.RunSequential)
+	colors, _, err := SolveBase(in, init, g.M(), local.Sequential)
 	if err != nil {
 		t.Fatalf("SolveBase: %v", err)
 	}
@@ -124,11 +124,11 @@ func TestSolveBaseWithInitialColoring(t *testing.T) {
 func TestSolveBaseEnginesAgree(t *testing.T) {
 	g := graph.RandomRegular(28, 4, 5)
 	in := NewUniform(g, 2*g.MaxDegree()-1)
-	a, sa, err := SolveBase(in, nil, 0, local.RunSequential)
+	a, sa, err := SolveBase(in, nil, 0, local.Sequential)
 	if err != nil {
 		t.Fatalf("sequential: %v", err)
 	}
-	b, sb, err := SolveBase(in, nil, 0, local.RunGoroutines)
+	b, sb, err := SolveBase(in, nil, 0, local.Goroutines)
 	if err != nil {
 		t.Fatalf("goroutines: %v", err)
 	}
@@ -234,7 +234,7 @@ func TestSolveBaseProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		colors, _, err := SolveBase(in, nil, 0, local.RunSequential)
+		colors, _, err := SolveBase(in, nil, 0, local.Sequential)
 		if err != nil {
 			return false
 		}
@@ -264,7 +264,7 @@ func TestSolveBaseProperty(t *testing.T) {
 func TestSolveBaseRoundBound(t *testing.T) {
 	g := graph.RandomRegular(60, 4, 21)
 	in := NewUniform(g, 2*g.MaxDegree()-1)
-	_, stats, err := SolveBase(in, nil, 0, local.RunSequential)
+	_, stats, err := SolveBase(in, nil, 0, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,9 +20,9 @@ import (
 // initColors optionally provides a proper coloring of the active conflict
 // system with initX colors; nil falls back to item indices (X = len(pairs)).
 // Returns a color per item (−1 for inactive ones).
-func SolvePairs(pairs [][2]int64, active []bool, lists [][]int, initColors []int, initX int, run local.Runner) ([]int, local.Stats, error) {
+func SolvePairs(pairs [][2]int64, active []bool, lists [][]int, initColors []int, initX int, run local.Engine) ([]int, local.Stats, error) {
 	if run == nil {
-		run = local.RunSequential
+		run = local.Sequential
 	}
 	m := len(pairs)
 	if active == nil {

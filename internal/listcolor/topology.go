@@ -12,9 +12,9 @@ import (
 // per round. Every entity's list must strictly exceed its topology degree.
 // This is the engine shared by SolvePairs (edge entities) and by the vertex
 // coloring extension (node entities).
-func SolveOnTopology(t *local.Topology, initial []int, x int, lists [][]int, run local.Runner) ([]int, local.Stats, error) {
+func SolveOnTopology(t *local.Topology, initial []int, x int, lists [][]int, run local.Engine) ([]int, local.Stats, error) {
 	if run == nil {
-		run = local.RunSequential
+		run = local.Sequential
 	}
 	if len(lists) != t.N() {
 		return nil, local.Stats{}, fmt.Errorf("listcolor: %d lists for %d entities", len(lists), t.N())
@@ -41,7 +41,7 @@ func SolveOnTopology(t *local.Topology, initial []int, x int, lists [][]int, run
 			errs:   errs,
 		}
 	}
-	gs, err := run(t, factory, nil)
+	gs, err := run.Run(t, factory, nil)
 	stats.Rounds += gs.Rounds
 	stats.Messages += gs.Messages
 	if err != nil {

@@ -1,9 +1,5 @@
 package local
 
-// Runner is the signature shared by RunSequential and RunGoroutines, so that
-// algorithm packages can be parameterized by execution engine.
-type Runner func(t *Topology, f Factory, opts *Options) (Stats, error)
-
 // Induced builds the subtopology containing the entities with keep[i]=true
 // and, among the surviving links, those for which keepLink(i, p) returns true
 // when evaluated at either endpoint (keepLink may be nil to keep all links

@@ -9,12 +9,15 @@
 // decides whether to halt. Messages are arbitrary Go values — the LOCAL
 // model does not charge for bandwidth, only rounds.
 //
-// Two engines execute the same Protocol with identical semantics:
+// Three engines execute the same Protocol with identical semantics (see the
+// Engine interface):
 //
 //   - RunSequential: a deterministic loop; the workhorse for experiments.
 //   - RunGoroutines: one goroutine per entity, real channels per link, and
 //     barrier-synchronized rounds; demonstrates that the protocols are
 //     honest message-passing programs and cross-checks the sequential engine.
+//   - internal/sharded: a worker pool (one shard of entities per core) with
+//     double-buffered batch mailboxes; the engine for large instances.
 //
 // Entities know, at start: their own ID, their degree, the global entity
 // count and the global maximum degree (standard LOCAL assumptions; the paper
@@ -149,30 +152,21 @@ var ErrRoundLimit = errors.New("local: round limit exceeded")
 
 // Options tunes an engine run.
 type Options struct {
-	// MaxRounds caps the execution (default 1<<20). Exceeding it returns
-	// ErrRoundLimit.
+	// MaxRounds caps the execution (default DefaultMaxRounds). Exceeding it
+	// returns ErrRoundLimit.
 	MaxRounds int
 }
 
-func (o *Options) maxRounds() int {
+// DefaultMaxRounds is the round cap applied when Options.MaxRounds is unset.
+const DefaultMaxRounds = 1 << 20
+
+// RoundLimit returns the effective round cap of o (DefaultMaxRounds when o
+// is nil or MaxRounds is unset). All engines enforce the same cap.
+func (o *Options) RoundLimit() int {
 	if o == nil || o.MaxRounds <= 0 {
-		return 1 << 20
+		return DefaultMaxRounds
 	}
 	return o.MaxRounds
-}
-
-func makeView(t *Topology, i int) View {
-	var meta any
-	if t.Meta != nil {
-		meta = t.Meta[i]
-	}
-	return View{
-		Index:     i,
-		N:         t.N(),
-		Degree:    len(t.Ports[i]),
-		MaxDegree: t.MaxDeg,
-		Meta:      meta,
-	}
 }
 
 // slot identifies one inbox cell for sparse clearing.
@@ -194,7 +188,7 @@ func RunSequential(t *Topology, f Factory, opts *Options) (Stats, error) {
 	sparse := make([]SparseReceiver, n)
 	sleepers := make([]Sleeper, n)
 	for i := 0; i < n; i++ {
-		procs[i] = f(makeView(t, i))
+		procs[i] = f(t.ViewOf(i))
 		if sr, ok := procs[i].(SparseReceiver); ok {
 			sparse[i] = sr
 		}
@@ -222,7 +216,7 @@ func RunSequential(t *Topology, f Factory, opts *Options) (Stats, error) {
 		order[i] = int32(i)
 	}
 	var stats Stats
-	limit := opts.maxRounds()
+	limit := opts.RoundLimit()
 	for r := 1; len(order) > 0; r++ {
 		if r > limit {
 			return stats, fmt.Errorf("%w (limit %d)", ErrRoundLimit, limit)
@@ -315,14 +309,14 @@ func RunGoroutines(t *Topology, f Factory, opts *Options) (Stats, error) {
 		messages int64
 		rounds   int
 	)
-	limit := opts.maxRounds()
+	limit := opts.RoundLimit()
 	barrier := newBarrier(n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
-			proc := f(makeView(t, i))
+			proc := f(t.ViewOf(i))
 			sparse, _ := proc.(SparseReceiver)
 			inbox := make([]Message, len(t.Ports[i]))
 			done := false

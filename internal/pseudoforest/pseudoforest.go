@@ -22,7 +22,7 @@
 //
 // Total: O(log* n) + 6Δ rounds, implemented as a genuine message-passing
 // protocol on the node topology (one goroutine per *node* under
-// local.RunGoroutines, unlike the edge-entity algorithms elsewhere).
+// local.Goroutines, unlike the edge-entity algorithms elsewhere).
 package pseudoforest
 
 import (
@@ -67,9 +67,9 @@ func bits(k int) int {
 // strictly larger than the edge's active degree. active and lists are
 // indexed by EdgeID; active may be nil for all edges. Returns a color per
 // edge (−1 inactive) and the protocol stats.
-func Solve(g *graph.Graph, active []bool, lists [][]int, run local.Runner) ([]int, local.Stats, error) {
+func Solve(g *graph.Graph, active []bool, lists [][]int, run local.Engine) ([]int, local.Stats, error) {
 	if run == nil {
-		run = local.RunSequential
+		run = local.Sequential
 	}
 	m := g.M()
 	if active == nil {
@@ -122,7 +122,7 @@ func Solve(g *graph.Graph, active []bool, lists [][]int, run local.Runner) ([]in
 	factory := func(view local.View) local.Protocol {
 		return newNodeProto(view, g, active, lists, cv, maxOut, out, errs)
 	}
-	stats, err := run(tp, factory, nil)
+	stats, err := run.Run(tp, factory, nil)
 	if err != nil {
 		return nil, stats, err
 	}

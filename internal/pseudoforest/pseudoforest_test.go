@@ -68,7 +68,7 @@ func TestSolveFamilies(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			c := 2*tc.g.MaxDegree() - 1
 			lists := uniformLists(tc.g, c)
-			colors, stats, err := Solve(tc.g, nil, lists, local.RunSequential)
+			colors, stats, err := Solve(tc.g, nil, lists, local.Sequential)
 			if err != nil {
 				t.Fatalf("Solve: %v", err)
 			}
@@ -86,7 +86,7 @@ func TestSolveDegreeLists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	colors, _, err := Solve(g, nil, in.Lists, local.RunSequential)
+	colors, _, err := Solve(g, nil, in.Lists, local.Sequential)
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -100,7 +100,7 @@ func TestSolvePartial(t *testing.T) {
 		active[e] = e%4 != 0
 	}
 	lists := uniformLists(g, 2*g.MaxDegree()-1)
-	colors, _, err := Solve(g, active, lists, local.RunSequential)
+	colors, _, err := Solve(g, active, lists, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestRoundsLinearInDelta(t *testing.T) {
 func mustRounds(t *testing.T, g *graph.Graph) int {
 	t.Helper()
 	lists := uniformLists(g, 2*g.MaxDegree()-1)
-	colors, stats, err := Solve(g, nil, lists, local.RunSequential)
+	colors, stats, err := Solve(g, nil, lists, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +143,11 @@ func mustRounds(t *testing.T, g *graph.Graph) int {
 func TestEnginesAgree(t *testing.T) {
 	g := graph.RandomRegular(30, 5, 2)
 	lists := uniformLists(g, 2*g.MaxDegree()-1)
-	a, sa, err := Solve(g, nil, lists, local.RunSequential)
+	a, sa, err := Solve(g, nil, lists, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, sb, err := Solve(g, nil, lists, local.RunGoroutines)
+	b, sb, err := Solve(g, nil, lists, local.Goroutines)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestSolveProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		colors, _, err := Solve(g, nil, in.Lists, local.RunSequential)
+		colors, _, err := Solve(g, nil, in.Lists, local.Sequential)
 		if err != nil {
 			return false
 		}

@@ -103,9 +103,9 @@ func (tp *trialProto) drop(c int) {
 // trials. Lists must strictly exceed active degrees (slack 1). Rounds are
 // O(log m) with high probability; a deterministic round cap of 40·log₂(m)+60
 // turns pathological luck into an error instead of a hang.
-func Solve(g *graph.Graph, active []bool, lists [][]int, seed uint64, run local.Runner) ([]int, local.Stats, error) {
+func Solve(g *graph.Graph, active []bool, lists [][]int, seed uint64, run local.Engine) ([]int, local.Stats, error) {
 	if run == nil {
-		run = local.RunSequential
+		run = local.Sequential
 	}
 	m := g.M()
 	if active == nil {
@@ -131,7 +131,7 @@ func Solve(g *graph.Graph, active []bool, lists [][]int, seed uint64, run local.
 	for x := m; x > 1; x >>= 1 {
 		roundCap += 40
 	}
-	stats, err := run(sub, factory, &local.Options{MaxRounds: roundCap})
+	stats, err := run.Run(sub, factory, &local.Options{MaxRounds: roundCap})
 	if err != nil {
 		return nil, stats, err
 	}

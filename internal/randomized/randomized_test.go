@@ -35,7 +35,7 @@ func TestSolveFamilies(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			c := 2*tc.g.MaxDegree() - 1
 			lists := uniformLists(tc.g, c)
-			colors, stats, err := Solve(tc.g, nil, lists, 42, local.RunSequential)
+			colors, stats, err := Solve(tc.g, nil, lists, 42, local.Sequential)
 			if err != nil {
 				t.Fatalf("Solve: %v", err)
 			}
@@ -61,11 +61,11 @@ func TestRoundsLogarithmic(t *testing.T) {
 	g2 := graph.RandomRegular(512, 8, 3)
 	l1 := uniformLists(g1, 15)
 	l2 := uniformLists(g2, 15)
-	_, s1, err := Solve(g1, nil, l1, 1, local.RunSequential)
+	_, s1, err := Solve(g1, nil, l1, 1, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, s2, err := Solve(g2, nil, l2, 1, local.RunSequential)
+	_, s2, err := Solve(g2, nil, l2, 1, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +77,11 @@ func TestRoundsLogarithmic(t *testing.T) {
 func TestDeterministicForSeed(t *testing.T) {
 	g := graph.RandomRegular(40, 6, 9)
 	lists := uniformLists(g, 11)
-	a, sa, err := Solve(g, nil, lists, 7, local.RunSequential)
+	a, sa, err := Solve(g, nil, lists, 7, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, sb, err := Solve(g, nil, lists, 7, local.RunSequential)
+	b, sb, err := Solve(g, nil, lists, 7, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestDeterministicForSeed(t *testing.T) {
 			t.Fatal("same seed, different colors")
 		}
 	}
-	c, _, err := Solve(g, nil, lists, 8, local.RunSequential)
+	c, _, err := Solve(g, nil, lists, 8, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestPartialActive(t *testing.T) {
 		active[e] = e%2 == 0
 	}
 	lists := uniformLists(g, 2*g.MaxDegree()-1)
-	colors, _, err := Solve(g, active, lists, 3, local.RunSequential)
+	colors, _, err := Solve(g, active, lists, 3, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +133,11 @@ func TestPartialActive(t *testing.T) {
 func TestEnginesAgree(t *testing.T) {
 	g := graph.RandomRegular(32, 6, 5)
 	lists := uniformLists(g, 11)
-	a, sa, err := Solve(g, nil, lists, 11, local.RunSequential)
+	a, sa, err := Solve(g, nil, lists, 11, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, sb, err := Solve(g, nil, lists, 11, local.RunGoroutines)
+	b, sb, err := Solve(g, nil, lists, 11, local.Goroutines)
 	if err != nil {
 		t.Fatal(err)
 	}

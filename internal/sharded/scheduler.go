@@ -1,0 +1,282 @@
+package sharded
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/distec/distec/internal/local"
+)
+
+// phaser is a reusable barrier for the worker pool. The last worker to
+// arrive runs the supplied hook while holding the lock, which is where the
+// per-round global decisions (halt detection, error propagation) happen
+// without any extra synchronization. With one participant it degenerates to
+// a plain function call.
+type phaser struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+}
+
+func newPhaser(parties int) *phaser {
+	p := &phaser{parties: parties}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// arrive blocks until all parties have arrived; the last arrival runs
+// onLast (may be nil) before releasing the others. The phaser's lock gives
+// every value written before an arrive a happens-before edge to every read
+// after it returns, which is what makes the engine's shared round state
+// safe to read barrier-to-barrier without atomics.
+func (p *phaser) arrive(onLast func()) {
+	p.mu.Lock()
+	gen := p.gen
+	p.arrived++
+	if p.arrived == p.parties {
+		if onLast != nil {
+			onLast()
+		}
+		p.arrived = 0
+		p.gen++
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return
+	}
+	for gen == p.gen {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// runState is the cross-shard state of one execution. Fields below errMu are
+// written under errMu; stop/rounds are written only inside phaser hooks and
+// read only after the corresponding arrive, so the phaser orders them.
+type runState struct {
+	limit  int
+	active []int64 // per-shard count of still-active entities
+	stop   bool
+	rounds int
+
+	errMu     sync.Mutex
+	err       error
+	errEntity int // lowest-index entity that reported err, for determinism
+}
+
+// recordErr keeps the error of the lowest-index reporting entity so the
+// engine's error is deterministic regardless of worker interleaving.
+// entity −1 flags engine-level errors (round limit), which win outright.
+func (st *runState) recordErr(entity int, err error) {
+	st.errMu.Lock()
+	if st.err == nil || entity < st.errEntity {
+		st.err, st.errEntity = err, entity
+	}
+	st.errMu.Unlock()
+}
+
+func (st *runState) getErr() error {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	return st.err
+}
+
+// slot marks one written inbox cell (shard-local entity index + port) for
+// sparse clearing, mirroring the sequential engine's touched lists.
+type slot struct {
+	ent  int32
+	port int32
+}
+
+// worker owns one contiguous block of entities: their protocol state, their
+// double-buffered inboxes, and the outbox batches they produce. All mutation
+// of a worker's fields happens on its own goroutine; cross-shard data flows
+// only through outbox batches read strictly after a barrier.
+type worker struct {
+	id     int
+	lo, hi int // owned entity range [lo, hi)
+
+	procs    []local.Protocol
+	sparse   []local.SparseReceiver
+	sleepers []local.Sleeper
+
+	active  []int32 // still-active owned entities, ascending
+	wake    []int   // shard-local: round before which the entity sleeps
+	gotMsg  []int32 // shard-local: deliveries this round
+	inbox   [2][][]local.Message
+	touched [2][]slot
+	out     outbox
+
+	sent      int64
+	delivered int64
+	busy      time.Duration
+}
+
+func newWorker(id, lo, hi, shards int, t *local.Topology, f local.Factory) *worker {
+	n := hi - lo
+	w := &worker{
+		id:       id,
+		lo:       lo,
+		hi:       hi,
+		procs:    make([]local.Protocol, n),
+		sparse:   make([]local.SparseReceiver, n),
+		sleepers: make([]local.Sleeper, n),
+		active:   make([]int32, n),
+		wake:     make([]int, n),
+		gotMsg:   make([]int32, n),
+		out:      newOutbox(shards),
+	}
+	w.inbox[0] = make([][]local.Message, n)
+	w.inbox[1] = make([][]local.Message, n)
+	for li := 0; li < n; li++ {
+		i := lo + li
+		w.procs[li] = f(t.ViewOf(i))
+		if sr, ok := w.procs[li].(local.SparseReceiver); ok {
+			w.sparse[li] = sr
+		}
+		if sl, ok := w.procs[li].(local.Sleeper); ok {
+			w.sleepers[li] = sl
+		}
+		deg := len(t.Ports[i])
+		w.inbox[0][li] = make([]local.Message, deg)
+		w.inbox[1][li] = make([]local.Message, deg)
+		w.active[li] = int32(i)
+	}
+	return w
+}
+
+// sendPhase runs Send for every awake owned entity and batches the output
+// into the parity-par outbox buffers by destination shard.
+func (w *worker) sendPhase(r, par int, t *local.Topology, shardOf []int32, st *runState) {
+	w.out.reset(par)
+	for _, i32 := range w.active {
+		i := int(i32)
+		if w.wake[i-w.lo] > r {
+			continue
+		}
+		out := w.procs[i-w.lo].Send(r)
+		if out == nil {
+			continue
+		}
+		if len(out) != len(t.Ports[i]) {
+			st.recordErr(i, fmt.Errorf("local: entity %d sent %d messages, has %d ports", i, len(out), len(t.Ports[i])))
+			return
+		}
+		for p, msg := range out {
+			if msg == nil {
+				continue
+			}
+			j := t.Ports[i][p]
+			w.out.put(par, shardOf[j], delivery{to: j, port: t.Back[i][p], msg: msg})
+			w.sent++
+		}
+	}
+}
+
+// deliverPhase drains the parity-par batches addressed to this shard from
+// every source worker into the owned entities' parity-par inboxes. Stale
+// slots from the buffer's previous use (round r−2) and last round's delivery
+// counters are cleared sparsely first, exactly like the sequential engine.
+func (w *worker) deliverPhase(par int, workers []*worker) {
+	for _, s := range w.touched[1-par] {
+		w.gotMsg[s.ent] = 0
+	}
+	tb := w.touched[par]
+	for _, s := range tb {
+		w.inbox[par][s.ent][s.port] = nil
+	}
+	tb = tb[:0]
+	for _, src := range workers {
+		for _, d := range src.out.batch(par, w.id) {
+			li := d.to - int32(w.lo)
+			w.inbox[par][li][d.port] = d.msg
+			w.gotMsg[li]++
+			tb = append(tb, slot{ent: li, port: d.port})
+			w.delivered++
+		}
+	}
+	w.touched[par] = tb
+}
+
+// receivePhase runs Receive/ReceiveNone for the owned entities and compacts
+// the active list, preserving ascending order. The sleep/sparse logic is a
+// line-for-line mirror of RunSequential so results stay bit-identical.
+func (w *worker) receivePhase(r, par int) {
+	keep := w.active[:0]
+	for _, i32 := range w.active {
+		li := int(i32) - w.lo
+		if w.wake[li] > r && w.gotMsg[li] == 0 {
+			keep = append(keep, i32)
+			continue
+		}
+		var done bool
+		if w.gotMsg[li] == 0 && w.sparse[li] != nil {
+			done = w.sparse[li].ReceiveNone(r)
+			if !done && w.sleepers[li] != nil {
+				w.wake[li] = w.sleepers[li].NextWake(r)
+			}
+		} else {
+			done = w.procs[li].Receive(r, w.inbox[par][li])
+			w.wake[li] = 0
+		}
+		if !done {
+			keep = append(keep, i32)
+		}
+	}
+	w.active = keep
+}
+
+// loop is the per-worker round loop. Each round costs two barriers across
+// the worker pool (not across entities): one after the send phase, so every
+// batch is complete before any shard drains, and one after the receive
+// phase, where the last arrival aggregates active counts and decides
+// whether the execution halts.
+func (w *worker) loop(t *local.Topology, st *runState, ph *phaser, shardOf []int32, workers []*worker, timed bool) {
+	par := 0
+	var mark time.Time
+	begin := func() {
+		if timed {
+			mark = time.Now()
+		}
+	}
+	end := func() {
+		if timed {
+			w.busy += time.Since(mark)
+		}
+	}
+	for r := 1; ; r++ {
+		if r > st.limit {
+			// Every worker computes the same r and breaks here together, so
+			// no barrier is pending.
+			st.recordErr(-1, fmt.Errorf("%w (limit %d)", local.ErrRoundLimit, st.limit))
+			return
+		}
+		begin()
+		w.sendPhase(r, par, t, shardOf, st)
+		end()
+		ph.arrive(nil)
+		if st.getErr() == nil {
+			begin()
+			w.deliverPhase(par, workers)
+			w.receivePhase(r, par)
+			end()
+		}
+		st.active[w.id] = int64(len(w.active))
+		ph.arrive(func() {
+			st.rounds = r
+			var total int64
+			for _, c := range st.active {
+				total += c
+			}
+			if total == 0 || st.err != nil {
+				st.stop = true
+			}
+		})
+		if st.stop {
+			return
+		}
+		par = 1 - par
+	}
+}

@@ -16,9 +16,9 @@ import (
 // This mirrors the local-checkability property that makes edge coloring an
 // LCL problem (the class the paper's LOCAL-model program is about): a
 // coloring is globally valid iff every radius-1 view is valid.
-func DistributedCheck(t *local.Topology, colors []int, run local.Runner) (bool, local.Stats, error) {
+func DistributedCheck(t *local.Topology, colors []int, run local.Engine) (bool, local.Stats, error) {
 	if run == nil {
-		run = local.RunSequential
+		run = local.Sequential
 	}
 	if len(colors) != t.N() {
 		return false, local.Stats{}, fmt.Errorf("verify: %d colors for %d entities", len(colors), t.N())
@@ -27,7 +27,7 @@ func DistributedCheck(t *local.Topology, colors []int, run local.Runner) (bool, 
 	factory := func(v local.View) local.Protocol {
 		return &checkProto{v: v, color: colors[v.Index], verdicts: verdicts}
 	}
-	stats, err := run(t, factory, nil)
+	stats, err := run.Run(t, factory, nil)
 	if err != nil {
 		return false, stats, err
 	}
@@ -69,6 +69,6 @@ func (cp *checkProto) Receive(r int, inbox []local.Message) bool {
 
 // DistributedCheckEdges runs DistributedCheck on the edge-conflict topology
 // of a graph.
-func DistributedCheckEdges(g *graph.Graph, colors []int, run local.Runner) (bool, local.Stats, error) {
+func DistributedCheckEdges(g *graph.Graph, colors []int, run local.Engine) (bool, local.Stats, error) {
 	return DistributedCheck(local.EdgeConflict(g), colors, run)
 }

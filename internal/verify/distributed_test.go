@@ -15,11 +15,11 @@ func TestDistributedCheckAcceptsValid(t *testing.T) {
 	for i := range init {
 		init[i] = i
 	}
-	colors, _, err := linial.Reduce(tp, init, tp.N(), local.RunSequential)
+	colors, _, err := linial.Reduce(tp, init, tp.N(), local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, stats, err := DistributedCheckEdges(g, colors, local.RunSequential)
+	ok, stats, err := DistributedCheckEdges(g, colors, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestDistributedCheckAcceptsValid(t *testing.T) {
 func TestDistributedCheckRejectsConflict(t *testing.T) {
 	g := graph.Path(4)
 	// Middle two edges conflict.
-	ok, _, err := DistributedCheckEdges(g, []int{0, 1, 1}, local.RunSequential)
+	ok, _, err := DistributedCheckEdges(g, []int{0, 1, 1}, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestDistributedCheckRejectsConflict(t *testing.T) {
 
 func TestDistributedCheckRejectsUncolored(t *testing.T) {
 	g := graph.Path(3)
-	ok, _, err := DistributedCheckEdges(g, []int{0, -1}, local.RunSequential)
+	ok, _, err := DistributedCheckEdges(g, []int{0, -1}, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestDistributedCheckBothEngines(t *testing.T) {
 	for e := range colors {
 		colors[e] = e
 	}
-	for _, run := range []local.Runner{local.RunSequential, local.RunGoroutines} {
+	for _, run := range []local.Engine{local.Sequential, local.Goroutines} {
 		ok, _, err := DistributedCheckEdges(g, colors, run)
 		if err != nil {
 			t.Fatal(err)

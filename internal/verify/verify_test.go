@@ -73,7 +73,7 @@ func linialAlg(g *graph.Graph) ([]int, int, error) {
 	for i := range init {
 		init[i] = i
 	}
-	colors, stats, err := linial.Reduce(tp, init, tp.N(), local.RunSequential)
+	colors, stats, err := linial.Reduce(tp, init, tp.N(), local.Sequential)
 	return colors, stats.Rounds, err
 }
 
@@ -90,7 +90,7 @@ func TestLocalityOfLinial(t *testing.T) {
 func TestLocalityOfDefective(t *testing.T) {
 	g := graph.Cycle(80)
 	alg := func(h *graph.Graph) ([]int, int, error) {
-		res, err := defective.ColorGraph(h, nil, 1, local.RunSequential)
+		res, err := defective.ColorGraph(h, nil, 1, local.Sequential)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -162,7 +162,7 @@ func TestLocalityOfPseudoforest(t *testing.T) {
 		lists[e] = []int{0, 1, 2}
 	}
 	alg := func(h *graph.Graph) ([]int, int, error) {
-		colors, stats, err := pseudoforest.Solve(h, nil, lists, local.RunSequential)
+		colors, stats, err := pseudoforest.Solve(h, nil, lists, local.Sequential)
 		return colors, stats.Rounds, err
 	}
 	if err := CheckLocality(g, alg, 5, 4, 11); err != nil {

@@ -17,7 +17,7 @@ import (
 // SolveList solves the (deg(v)+1)-list vertex coloring problem on g: each
 // node must be colored from lists[v] (|lists[v]| > deg(v)) so that adjacent
 // nodes differ. Runs in O(Δ² + log* n) rounds.
-func SolveList(g *graph.Graph, lists [][]int, run local.Runner) ([]int, local.Stats, error) {
+func SolveList(g *graph.Graph, lists [][]int, run local.Engine) ([]int, local.Stats, error) {
 	t := local.FromGraph(g)
 	initial := make([]int, g.N())
 	for v := range initial {
@@ -27,7 +27,7 @@ func SolveList(g *graph.Graph, lists [][]int, run local.Runner) ([]int, local.St
 }
 
 // Solve computes a (Δ+1)-vertex coloring of g in O(Δ² + log* n) rounds.
-func Solve(g *graph.Graph, run local.Runner) ([]int, local.Stats, error) {
+func Solve(g *graph.Graph, run local.Engine) ([]int, local.Stats, error) {
 	c := g.MaxDegree() + 1
 	palette := make([]int, c)
 	for i := range palette {
@@ -61,7 +61,7 @@ func Verify(g *graph.Graph, colors []int) error {
 // coloring obtained by running the VERTEX algorithm on the line graph
 // (edge-conflict topology). It returns per-edge colors over the palette
 // {0..2Δ−2}; the rounds are edge-entity rounds.
-func EdgeColoringViaLineGraph(g *graph.Graph, run local.Runner) ([]int, local.Stats, error) {
+func EdgeColoringViaLineGraph(g *graph.Graph, run local.Engine) ([]int, local.Stats, error) {
 	t := local.EdgeConflict(g)
 	c := 2*g.MaxDegree() - 1
 	if c < 1 {

@@ -23,7 +23,7 @@ func TestSolveFamilies(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			colors, stats, err := Solve(tc.g, local.RunSequential)
+			colors, stats, err := Solve(tc.g, local.Sequential)
 			if err != nil {
 				t.Fatalf("Solve: %v", err)
 			}
@@ -53,7 +53,7 @@ func TestSolveListRejectsSmallList(t *testing.T) {
 
 func TestEdgeColoringViaLineGraph(t *testing.T) {
 	g := graph.RandomRegular(40, 5, 8)
-	colors, _, err := EdgeColoringViaLineGraph(g, local.RunSequential)
+	colors, _, err := EdgeColoringViaLineGraph(g, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +80,11 @@ func TestVerifyCatchesViolations(t *testing.T) {
 
 func TestEnginesAgree(t *testing.T) {
 	g := graph.RandomRegular(36, 5, 4)
-	a, sa, err := Solve(g, local.RunSequential)
+	a, sa, err := Solve(g, local.Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, sb, err := Solve(g, local.RunGoroutines)
+	b, sb, err := Solve(g, local.Goroutines)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestEnginesAgree(t *testing.T) {
 func TestSolveProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		g := graph.GNP(40, 0.12, seed)
-		colors, _, err := Solve(g, local.RunSequential)
+		colors, _, err := Solve(g, local.Sequential)
 		if err != nil {
 			return false
 		}
