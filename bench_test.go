@@ -143,6 +143,69 @@ func BenchmarkSolverRandomized(b *testing.B) {
 	b.ReportMetric(float64(rounds), "LOCALrounds")
 }
 
+// extendFixture builds the shared ExtendColoring workload: a proper
+// coloring of RandomRegular(2000, 24) with 1 in 16 edges left to complete
+// and full-palette lists.
+func extendFixture(b *testing.B) (g *graph.Graph, partial []int, lists [][]int, palette int) {
+	b.Helper()
+	g = graph.RandomRegular(2000, 24, 7)
+	full, err := ColorEdges(g, Options{Algorithm: PR01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	palette = full.Palette
+	partial = make([]int, g.M())
+	lists = make([][]int, g.M())
+	all := make([]int, palette)
+	for i := range all {
+		all[i] = i
+	}
+	for e := 0; e < g.M(); e++ {
+		lists[e] = all
+		partial[e] = full.Colors[e]
+		if e%16 == 0 {
+			partial[e] = -1
+		}
+	}
+	return g, partial, lists, palette
+}
+
+// BenchmarkExtendColoring measures completing an almost-finished partial
+// coloring — the serving hot path ([Bar15] §1): most of the work is pruning
+// the fixed neighbors' colors out of each uncolored edge's list.
+func BenchmarkExtendColoring(b *testing.B) {
+	g, partial, lists, palette := extendFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ExtendColoring(g, partial, lists, palette, Options{Algorithm: PR01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Colors[0] < 0 {
+			b.Fatal("uncolored")
+		}
+	}
+}
+
+// BenchmarkExtendColoringPrune isolates ExtendColoring's list-pruning stage
+// (building the pruned instance, without solving it) — the part the
+// color-indexed scratch slice speeds up over the previous per-edge maps.
+func BenchmarkExtendColoringPrune(b *testing.B) {
+	g, partial, lists, palette := extendFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := extendInstance(g, partial, lists, palette)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if in.C != palette {
+			b.Fatal("bad instance")
+		}
+	}
+}
+
 func BenchmarkEngineSequential(b *testing.B) { benchEngine(b, local.Sequential) }
 func BenchmarkEngineGoroutines(b *testing.B) { benchEngine(b, local.Goroutines) }
 func BenchmarkEngineSharded(b *testing.B)    { benchEngine(b, sharded.Default) }

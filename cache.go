@@ -1,0 +1,141 @@
+package distec
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"hash/maphash"
+	"sync"
+)
+
+// poolCache is the serving pool's result cache: repeated identical requests
+// — the same graph colored with the same options, as produced by epochal
+// recoloring of a fixed network or retried idempotent requests — are served
+// from memory, and identical requests that arrive while the first is still
+// computing wait for that one computation instead of repeating it
+// (single-flight). Deterministic algorithms (every Algorithm here, with
+// Randomized keyed by its seed) make this semantically invisible: the
+// cached result is bit-identical to recomputing.
+//
+// Keys are 64-bit maphashes of (n, edge list, algorithm, palette, seed)
+// under a per-pool random seed, so key collisions cannot be crafted from
+// outside and are vanishingly unlikely (≤ cap entries against a 64-bit
+// space). Only uniform ColorEdges requests are cached: list and extension
+// requests would need their full lists hashed, which rarely repeat.
+type poolCache struct {
+	seed maphash.Seed
+	cap  int
+
+	mu    sync.Mutex
+	byKey map[uint64]*cacheEntry
+	lru   *list.List // ready entries only; front = most recent
+}
+
+// cacheEntry is one keyed computation: pending until ready is closed, then
+// holding the result (or nil if the computation failed and was dropped).
+type cacheEntry struct {
+	key   uint64
+	ready chan struct{}
+	res   *Result
+	elem  *list.Element
+}
+
+func newPoolCache(capacity int) *poolCache {
+	return &poolCache{
+		seed:  maphash.MakeSeed(),
+		cap:   capacity,
+		byKey: make(map[uint64]*cacheEntry),
+		lru:   list.New(),
+	}
+}
+
+// key fingerprints a uniform ColorEdges request.
+func (c *poolCache) key(g *Graph, opts Options) uint64 {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	buf := make([]byte, 0, 1<<12)
+	flush := func() {
+		h.Write(buf)
+		buf = buf[:0]
+	}
+	put := func(x uint64) {
+		buf = binary.LittleEndian.AppendUint64(buf, x)
+		if len(buf) >= 1<<12 {
+			flush()
+		}
+	}
+	put(uint64(g.N()))
+	put(uint64(g.M()))
+	for _, e := range g.Edges() {
+		put(uint64(uint32(e.U))<<32 | uint64(uint32(e.V)))
+	}
+	put(uint64(opts.Palette))
+	put(opts.Seed)
+	flush()
+	h.WriteString(string(opts.Algorithm))
+	return h.Sum64()
+}
+
+// lookup returns (entry, owner): a non-nil entry the caller should read —
+// waiting for ready if necessary — or owner=true, in which case the caller
+// owns the (newly inserted, pending) entry and must call fill exactly once.
+func (c *poolCache) lookup(key uint64) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		return e, false
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.byKey[key] = e
+	return e, true
+}
+
+// fill completes the owner's pending entry. Failed computations are dropped
+// (the error is not cached); successful ones enter the LRU, evicting the
+// oldest ready entry beyond capacity. The stored result is a private clone.
+func (c *poolCache) fill(e *cacheEntry, res *Result, err error) {
+	c.mu.Lock()
+	if err != nil {
+		delete(c.byKey, e.key)
+	} else {
+		e.res = cloneResult(res)
+		e.elem = c.lru.PushFront(e)
+		if c.lru.Len() > c.cap {
+			old := c.lru.Remove(c.lru.Back()).(*cacheEntry)
+			delete(c.byKey, old.key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// wait blocks until the entry is ready (or ctx is done) and returns a copy
+// of its result; ok=false means the owning computation failed and the
+// caller should compute for itself.
+func (e *cacheEntry) wait(ctx context.Context) (*Result, bool, error) {
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	if e.res == nil {
+		return nil, false, nil
+	}
+	return cloneResult(e.res), true, nil
+}
+
+// cloneResult deep-copies a Result so cache storage and cache hits never
+// alias a slice the caller may mutate.
+func cloneResult(r *Result) *Result {
+	cp := *r
+	cp.Colors = append([]int(nil), r.Colors...)
+	if r.Diagnostics != nil {
+		d := *r.Diagnostics
+		d.SweepDegrees = append([]int(nil), r.Diagnostics.SweepDegrees...)
+		cp.Diagnostics = &d
+	}
+	return &cp
+}

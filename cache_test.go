@@ -1,0 +1,208 @@
+package distec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolCacheHit checks that a repeated identical request is served from
+// the cache, bit-identical, without resubmitting a job — and that a cache
+// hit never aliases the stored slices.
+func TestPoolCacheHit(t *testing.T) {
+	pool := NewPool(PoolOptions{Workers: 1})
+	defer pool.Close()
+	ctx := context.Background()
+	g := RandomRegular(48, 6, 17)
+
+	first, err := pool.ColorEdges(ctx, g, Options{Algorithm: PR01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstColors := append([]int(nil), first.Colors...)
+	first.Colors[0] = -99 // a hostile caller mutating its result
+
+	second, err := pool.ColorEdges(ctx, g, Options{Algorithm: PR01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range firstColors {
+		if second.Colors[e] != firstColors[e] {
+			t.Fatalf("edge %d: cached %d, want %d", e, second.Colors[e], firstColors[e])
+		}
+	}
+	second.Colors[1] = -99
+	third, err := pool.ColorEdges(ctx, g, Options{Algorithm: PR01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Colors[1] == -99 {
+		t.Fatal("cache hit aliases a previously returned slice")
+	}
+
+	s := pool.Stats()
+	if s.CacheHits != 2 {
+		t.Fatalf("cache hits = %d, want 2", s.CacheHits)
+	}
+	if s.Submitted != 1 {
+		t.Fatalf("submitted = %d, want 1 (repeats must not recompute)", s.Submitted)
+	}
+
+	// After Close, even a cached request must fail per the Close contract.
+	pool.Close()
+	if _, err := pool.ColorEdges(ctx, g, Options{Algorithm: PR01}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("cached request after Close: err = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolCacheKeys checks that every request parameter participates in the
+// cache key.
+func TestPoolCacheKeys(t *testing.T) {
+	pool := NewPool(PoolOptions{Workers: 1})
+	defer pool.Close()
+	ctx := context.Background()
+	g := RandomRegular(48, 6, 17)
+	h := RandomRegular(48, 6, 18) // same shape, different edges
+
+	requests := []struct {
+		g    *Graph
+		opts Options
+	}{
+		{g, Options{Algorithm: PR01}},
+		{g, Options{Algorithm: GreedyClasses}},
+		{g, Options{Algorithm: PR01, Palette: 2*g.MaxDegree() + 1}},
+		{g, Options{Algorithm: Randomized, Seed: 1}},
+		{g, Options{Algorithm: Randomized, Seed: 2}},
+		{h, Options{Algorithm: PR01}},
+	}
+	for i, r := range requests {
+		if _, err := pool.ColorEdges(ctx, r.g, r.opts); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	s := pool.Stats()
+	if s.CacheHits != 0 {
+		t.Fatalf("cache hits = %d, want 0 (all requests distinct)", s.CacheHits)
+	}
+	if s.Submitted != uint64(len(requests)) {
+		t.Fatalf("submitted = %d, want %d", s.Submitted, len(requests))
+	}
+}
+
+func TestPoolCacheDisabledAndEviction(t *testing.T) {
+	// Disabled: repeats recompute.
+	pool := NewPool(PoolOptions{Workers: 1, CacheSize: -1})
+	g := RandomRegular(36, 4, 3)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := pool.ColorEdges(ctx, g, Options{Algorithm: PR01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := pool.Stats(); s.CacheHits != 0 || s.Submitted != 2 {
+		t.Fatalf("disabled cache: %+v", s)
+	}
+	pool.Close()
+
+	// Capacity 1: alternating requests evict each other.
+	pool = NewPool(PoolOptions{Workers: 1, CacheSize: 1})
+	defer pool.Close()
+	h := RandomRegular(36, 4, 4)
+	for _, gr := range []*Graph{g, h, g, h} {
+		if _, err := pool.ColorEdges(ctx, gr, Options{Algorithm: PR01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := pool.Stats(); s.CacheHits != 0 || s.Submitted != 4 {
+		t.Fatalf("eviction: %+v", s)
+	}
+	// A repeat within capacity still hits.
+	if _, err := pool.ColorEdges(ctx, h, Options{Algorithm: PR01}); err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.CacheHits != 1 {
+		t.Fatalf("repeat within capacity: %+v", s)
+	}
+}
+
+// TestPoolSingleFlight checks that identical requests in flight at the same
+// time are computed once.
+func TestPoolSingleFlight(t *testing.T) {
+	pool := NewPool(PoolOptions{Workers: 1})
+	defer pool.Close()
+	ctx := context.Background()
+	g := Cycle(20000) // large enough to still be in flight when the others arrive
+
+	var wg sync.WaitGroup
+	results := make([]*Result, 4)
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = pool.ColorEdges(ctx, g, Options{Algorithm: GreedyClasses})
+		}(i)
+		if i == 0 {
+			time.Sleep(20 * time.Millisecond) // let the first insert its flight
+		}
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		for e := range results[0].Colors {
+			if results[i].Colors[e] != results[0].Colors[e] {
+				t.Fatalf("request %d, edge %d: %d != %d", i, e, results[i].Colors[e], results[0].Colors[e])
+			}
+		}
+	}
+	s := pool.Stats()
+	if s.Submitted != 1 {
+		t.Fatalf("submitted = %d, want 1 (single-flight)", s.Submitted)
+	}
+	if s.CacheHits != 3 {
+		t.Fatalf("cache hits = %d, want 3", s.CacheHits)
+	}
+}
+
+// TestPoolCacheFailedFlight checks that a failed computation is not cached
+// and that its waiters recover by computing independently.
+func TestPoolCacheFailedFlight(t *testing.T) {
+	pool := NewPool(PoolOptions{Workers: 1})
+	defer pool.Close()
+	g := RandomRegular(36, 4, 3)
+
+	// Fails: palette not greater than Δ̄.
+	if _, err := pool.ColorEdges(context.Background(), g, Options{Palette: 1}); err == nil {
+		t.Fatal("accepted bad palette")
+	}
+	// The failure must not be cached.
+	if _, err := pool.ColorEdges(context.Background(), g, Options{Palette: 1}); err == nil {
+		t.Fatal("accepted bad palette on repeat")
+	}
+	if s := pool.Stats(); s.CacheHits != 0 {
+		t.Fatalf("failure was served from cache: %+v", s)
+	}
+
+	// A waiter whose context expires while waiting on a slow flight gets
+	// its own ctx error instead of blocking for the full computation.
+	slow := Cycle(50000)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := pool.ColorEdges(context.Background(), slow, Options{Algorithm: GreedyClasses}); err != nil {
+			t.Errorf("flight owner: %v", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // flight now inserted and computing
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := pool.ColorEdges(ctx, slow, Options{Algorithm: GreedyClasses}); err == nil {
+		t.Error("waiter ignored its deadline")
+	}
+	wg.Wait()
+}

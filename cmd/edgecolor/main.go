@@ -37,6 +37,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*engine, *shards, *alg); err != nil {
+		fmt.Fprintln(os.Stderr, "edgecolor:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	g, err := loadGraph(*inFile, *gen, *n, *d, *p, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgecolor:", err)
@@ -74,6 +79,27 @@ func main() {
 			fmt.Printf("%d %d %d\n", u, v, res.Colors[e])
 		}
 	}
+}
+
+// validateFlags rejects flag values the run could only fail on later, so
+// mistakes surface as usage errors before any work starts. The cases spell
+// out the distec constants; when the library gains an engine or algorithm,
+// extend the matching case list (and the flag help text) here.
+func validateFlags(engine string, shards int, alg string) error {
+	switch distec.Engine(engine) {
+	case distec.Sequential, distec.Goroutines, distec.Sharded:
+	default:
+		return fmt.Errorf("unknown -engine %q (want sequential, goroutines, or sharded)", engine)
+	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must be ≥ 0, got %d", shards)
+	}
+	switch distec.Algorithm(alg) {
+	case distec.BKO, distec.BKOTheory, distec.PR01, distec.GreedyClasses, distec.Randomized:
+	default:
+		return fmt.Errorf("unknown -alg %q (want bko, bko-theory, pr01, greedy-classes, or randomized)", alg)
+	}
+	return nil
 }
 
 func loadGraph(inFile, gen string, n, d int, p float64, seed uint64) (*distec.Graph, error) {

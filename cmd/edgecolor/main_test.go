@@ -60,3 +60,38 @@ func TestLoadGraphMissingFile(t *testing.T) {
 		t.Fatal("accepted missing file")
 	}
 }
+
+func TestValidateFlags(t *testing.T) {
+	ok := []struct {
+		engine string
+		shards int
+		alg    string
+	}{
+		{"sequential", 0, "bko"},
+		{"goroutines", 0, "bko-theory"},
+		{"sharded", 4, "pr01"},
+		{"sharded", 0, "greedy-classes"},
+		{"sequential", 2, "randomized"}, // -shards is inert but valid here
+	}
+	for _, tc := range ok {
+		if err := validateFlags(tc.engine, tc.shards, tc.alg); err != nil {
+			t.Errorf("validateFlags(%q, %d, %q) = %v, want nil", tc.engine, tc.shards, tc.alg, err)
+		}
+	}
+	bad := []struct {
+		engine string
+		shards int
+		alg    string
+	}{
+		{"warp-drive", 0, "bko"}, // unknown engine
+		{"Sharded", 0, "bko"},    // case matters
+		{"sharded", -1, "bko"},   // negative shards
+		{"sequential", 0, "bk0"}, // unknown algorithm
+		{"", 0, "bko"},           // empty engine is not a default here
+	}
+	for _, tc := range bad {
+		if err := validateFlags(tc.engine, tc.shards, tc.alg); err == nil {
+			t.Errorf("validateFlags(%q, %d, %q) accepted bad flags", tc.engine, tc.shards, tc.alg)
+		}
+	}
+}

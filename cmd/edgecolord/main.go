@@ -1,0 +1,515 @@
+// Command edgecolord is the edge-coloring daemon: an HTTP/JSON front end
+// over the shared serving pool (distec.NewPool), plus a load-driving client
+// mode for exercising a running daemon.
+//
+// Serve (default):
+//
+//	edgecolord -addr :8405 -workers 0 -queue 0 -cache 32
+//
+//	POST /v1/color   color a graph (JSON; see colorRequest)
+//	GET  /v1/stats   pool metrics + daemon counters
+//	GET  /healthz    liveness
+//
+// One coloring per POST: the graph as an edge list, optionally an
+// algorithm, palette, seed, per-edge lists (list coloring), and a partial
+// coloring (extension). Every response is verified server-side before it is
+// returned. Example:
+//
+//	curl -s localhost:8405/v1/color -d '{"graph":{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}'
+//
+// Drive (client mode): replay a synthetic request mix against a daemon at a
+// fixed rate and report throughput and latency quantiles:
+//
+//	edgecolord -drive http://localhost:8405 -rate 20 -duration 10s -mix small=6,medium=3,large=1
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/distec/distec"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8405", "listen address (serve mode)")
+		workers = flag.Int("workers", 0, "pool worker lanes (0: one per core)")
+		queue   = flag.Int("queue", 0, "pool queue depth (0: 4x workers)")
+		small   = flag.Int("small", 0, "small-job entity threshold (0: default)")
+		cache   = flag.Int("cache", 0, "result cache entries (0: default, <0: disabled)")
+
+		drive    = flag.String("drive", "", "drive mode: base URL of a running daemon")
+		rate     = flag.Float64("rate", 20, "drive: requests per second")
+		duration = flag.Duration("duration", 5*time.Second, "drive: how long to drive")
+		mix      = flag.String("mix", "small=6,medium=3,large=1", "drive: request mix weights (small,medium,large)")
+	)
+	flag.Parse()
+
+	if *drive != "" {
+		classes, err := parseMix(*mix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgecolord:", err)
+			os.Exit(2)
+		}
+		sum, err := driveLoad(*drive, *rate, *duration, classes, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgecolord:", err)
+			os.Exit(1)
+		}
+		if sum.Errors > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	pool := distec.NewPool(distec.PoolOptions{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		SmallJob:   *small,
+		CacheSize:  *cache,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(pool),
+		// Slow-client bounds: a stalled or trickling connection must not
+		// pin a handler goroutine (and up to maxBodyBytes of buffer)
+		// forever. Reads are generous because bodies can carry 10⁶-edge
+		// graphs; writes cover the job bound (60 s default) plus transfer.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Shutdown returns only once in-flight requests have drained (or
+		// the grace period expires); ListenAndServe returns immediately.
+		srv.Shutdown(ctx)
+	}()
+	fmt.Printf("edgecolord: serving on %s (workers=%d queue=%d)\n",
+		*addr, pool.Stats().Workers, pool.Stats().QueueDepth)
+	err := srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		// Graceful path: wait for the drain before tearing down the pool,
+		// so in-flight handlers finish their jobs and write their responses.
+		<-drained
+		err = nil
+	}
+	pool.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgecolord:", err)
+		os.Exit(1)
+	}
+}
+
+// maxBodyBytes bounds one request body (a 10⁶-edge graph is ~16 MB of JSON).
+const maxBodyBytes = 64 << 20
+
+// maxGraphNodes bounds graph.n: the node count allocates O(n) regardless of
+// body size, so without a cap a 40-byte request naming n=2·10⁹ would OOM
+// the daemon. 2²² nodes comfortably covers any graph maxBodyBytes can carry
+// edges for.
+const maxGraphNodes = 1 << 22
+
+// maxPalette bounds the requested palette for the same reason: the library
+// allocates O(palette) scratch (uniform lists, extension pruning) before
+// any palette-vs-graph sanity check can reject it. Meaningful palettes are
+// at most 2Δ−1 < 2·maxGraphNodes.
+const maxPalette = 1 << 23
+
+// maxJobTimeout is the ceiling on client-requested timeout_ms: without it,
+// a handful of requests naming day-long timeouts would pin lanes and
+// admission slots for as long as their connections stay open.
+const maxJobTimeout = 5 * time.Minute
+
+// colorRequest is the body of POST /v1/color.
+type colorRequest struct {
+	Graph graphSpec `json:"graph"`
+	// Algorithm is one of bko, bko-theory, pr01, greedy-classes, randomized
+	// (default bko).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Palette overrides the palette size (default 2Δ−1; required with
+	// lists).
+	Palette int `json:"palette,omitempty"`
+	// Seed feeds the randomized algorithm.
+	Seed uint64 `json:"seed,omitempty"`
+	// Lists, when present, selects (deg(e)+1)-list coloring: one ascending
+	// color list per edge. Requires palette.
+	Lists [][]int `json:"lists,omitempty"`
+	// Partial, when present, selects extension: partial[e] ≥ 0 keeps that
+	// color, −1 marks an edge to complete. Requires lists and palette.
+	Partial []int `json:"partial,omitempty"`
+	// TimeoutMS bounds the job (0: the server's default of 60 s; values
+	// above the server's 5-minute ceiling are clamped to it, so clients
+	// cannot pin lanes and admission slots indefinitely).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// graphSpec is a plain edge-list graph.
+type graphSpec struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// colorResponse is the body of a successful POST /v1/color.
+type colorResponse struct {
+	Colors     []int   `json:"colors"`
+	Rounds     int     `json:"rounds"`
+	Messages   int64   `json:"messages"`
+	Palette    int     `json:"palette"`
+	ColorsUsed int     `json:"colors_used"`
+	Verified   bool    `json:"verified"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// statsResponse is the body of GET /v1/stats.
+type statsResponse struct {
+	distec.PoolStats
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	HTTPRequests  uint64  `json:"http_requests"`
+	HTTPErrors    uint64  `json:"http_errors"`
+}
+
+// server is the daemon's HTTP state: the shared pool plus request counters.
+type server struct {
+	pool     *distec.Pool
+	start    time.Time
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// newServer returns the daemon's handler over a shared pool (separated from
+// main for tests).
+func newServer(pool *distec.Pool) http.Handler {
+	s := &server{pool: pool, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/color", s.handleColor)
+	return mux
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		PoolStats:     s.pool.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		HTTPRequests:  s.requests.Load(),
+		HTTPErrors:    s.errors.Load(),
+	})
+}
+
+func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req colorRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	g, err := buildGraph(req.Graph)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Palette > maxPalette {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("palette %d exceeds the daemon's limit of %d", req.Palette, maxPalette))
+		return
+	}
+	timeout := 60 * time.Second
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > maxJobTimeout {
+			timeout = maxJobTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	opts := distec.Options{Algorithm: distec.Algorithm(req.Algorithm), Palette: req.Palette, Seed: req.Seed}
+	start := time.Now()
+	var res *distec.Result
+	switch {
+	case req.Partial != nil:
+		if req.Lists == nil || req.Palette <= 0 {
+			s.fail(w, http.StatusBadRequest, errors.New("partial requires lists and palette"))
+			return
+		}
+		res, err = s.pool.ExtendColoring(ctx, g, req.Partial, req.Lists, req.Palette, opts)
+	case req.Lists != nil:
+		if req.Palette <= 0 {
+			s.fail(w, http.StatusBadRequest, errors.New("lists require palette"))
+			return
+		}
+		res, err = s.pool.ColorEdgesList(ctx, g, req.Lists, req.Palette, opts)
+	default:
+		res, err = s.pool.ColorEdges(ctx, g, opts)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.fail(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			s.fail(w, 499, err) // client closed request
+		case errors.Is(err, distec.ErrPoolClosed):
+			s.fail(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, distec.ErrProtocolPanic), errors.Is(err, distec.ErrRoundLimit):
+			// Server-side defects (a panicking protocol, a diverging run),
+			// not properties of the request: report as internal errors so
+			// monitoring and retry policies classify them correctly.
+			s.fail(w, http.StatusInternalServerError, err)
+		default:
+			s.fail(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	// Never hand out an unverified coloring: the check is O(m + messages
+	// already paid) and turns any engine regression into a loud 500.
+	switch {
+	case req.Partial != nil:
+		// Properness for everyone; list membership only for the edges the
+		// server colored (fixed partial entries are legitimately exempt).
+		err = distec.Verify(g, res.Colors)
+		if err == nil {
+			err = verifyExtension(req.Partial, req.Lists, res.Colors)
+		}
+	case req.Lists != nil:
+		err = distec.VerifyList(g, req.Lists, res.Colors)
+	default:
+		err = distec.Verify(g, res.Colors)
+	}
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("OUTPUT INVALID: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, colorResponse{
+		Colors:     res.Colors,
+		Rounds:     res.Rounds,
+		Messages:   res.Messages,
+		Palette:    res.Palette,
+		ColorsUsed: res.ColorsUsed,
+		Verified:   true,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// verifyExtension checks that every edge the server colored (partial[e] < 0)
+// received a color from its list. Membership is a linear scan: the library
+// only validates the PRUNED lists as sorted, so the client's original list
+// may be unsorted yet still yield a valid (sorted-after-pruning) instance.
+func verifyExtension(partial []int, lists [][]int, colors []int) error {
+	for e, fixed := range partial {
+		if fixed >= 0 {
+			continue
+		}
+		found := false
+		for _, c := range lists[e] {
+			if c == colors[e] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("edge %d colored %d outside its list", e, colors[e])
+		}
+	}
+	return nil
+}
+
+func buildGraph(spec graphSpec) (*distec.Graph, error) {
+	if spec.N < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", spec.N)
+	}
+	if spec.N > maxGraphNodes {
+		return nil, fmt.Errorf("graph: node count %d exceeds the daemon's limit of %d", spec.N, maxGraphNodes)
+	}
+	g := distec.NewGraph(spec.N)
+	for i, e := range spec.Edges {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("graph edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// --- drive mode ---
+
+// driveClass is one request class of the drive mix.
+type driveClass struct {
+	name   string
+	weight int
+	body   []byte
+}
+
+// parseMix parses "small=6,medium=3,large=1" into request classes with
+// pre-encoded bodies. Classes with weight 0 are dropped; unknown class
+// names are an error.
+func parseMix(mix string) ([]driveClass, error) {
+	graphs := map[string]graphSpec{
+		"small":  graphToSpec(distec.RandomRegular(100, 6, 11)),  // 300 edges
+		"medium": graphToSpec(distec.RandomRegular(1000, 8, 12)), // 4000 edges
+		"large":  graphToSpec(distec.Cycle(20000)),               // 20k edges
+	}
+	algs := map[string]string{"small": "bko", "medium": "pr01", "large": "randomized"}
+	var classes []driveClass
+	for _, part := range strings.Split(mix, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want name=weight)", part)
+		}
+		weight, err := strconv.Atoi(val)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		spec, ok := graphs[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown mix class %q (have small, medium, large)", name)
+		}
+		if weight == 0 {
+			continue
+		}
+		body, err := json.Marshal(colorRequest{Graph: spec, Algorithm: algs[name], Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		classes = append(classes, driveClass{name: name, weight: weight, body: body})
+	}
+	if len(classes) == 0 {
+		return nil, errors.New("empty mix")
+	}
+	return classes, nil
+}
+
+func graphToSpec(g *distec.Graph) graphSpec {
+	spec := graphSpec{N: g.N(), Edges: make([][2]int, 0, g.M())}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(distec.EdgeID(e))
+		spec.Edges = append(spec.Edges, [2]int{u, v})
+	}
+	return spec
+}
+
+// driveSummary is what a drive run reports.
+type driveSummary struct {
+	Requests int
+	Errors   int
+	Wall     time.Duration
+	P50, P99 time.Duration
+}
+
+// driveLoad replays the weighted mix against base at the given rate for the
+// given duration and prints a summary plus the daemon's own stats.
+func driveLoad(base string, rate float64, duration time.Duration, classes []driveClass, out io.Writer) (driveSummary, error) {
+	if rate <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) || rate > 1e6 {
+		return driveSummary{}, fmt.Errorf("rate must be in (0, 1e6], got %v", rate)
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return driveSummary{}, fmt.Errorf("daemon not reachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errCount  int
+		wg        sync.WaitGroup
+	)
+	// Weighted round-robin over an expanded schedule keeps the mix exact.
+	var schedule []int
+	for ci, c := range classes {
+		for i := 0; i < c.weight; i++ {
+			schedule = append(schedule, ci)
+		}
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	for i := 0; time.Now().Before(deadline); i++ {
+		<-ticker.C
+		c := classes[schedule[i%len(schedule)]]
+		wg.Add(1)
+		go func(c driveClass) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Post(base+"/v1/color", "application/json", bytes.NewReader(c.body))
+			lat := time.Since(t0)
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			mu.Lock()
+			if ok {
+				latencies = append(latencies, lat)
+			} else {
+				errCount++
+			}
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	sum := driveSummary{Requests: len(latencies) + errCount, Errors: errCount, Wall: time.Since(start)}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		sum.P50 = latencies[len(latencies)/2]
+		sum.P99 = latencies[len(latencies)*99/100]
+	}
+	fmt.Fprintf(out, "drive: %d requests in %v (%.1f req/s), %d errors, latency p50=%v p99=%v\n",
+		sum.Requests, sum.Wall.Round(time.Millisecond),
+		float64(sum.Requests)/sum.Wall.Seconds(), sum.Errors, sum.P50, sum.P99)
+	if resp, err := client.Get(base + "/v1/stats"); err == nil {
+		defer resp.Body.Close()
+		var stats json.RawMessage
+		if json.NewDecoder(resp.Body).Decode(&stats) == nil {
+			fmt.Fprintf(out, "daemon stats: %s\n", stats)
+		}
+	}
+	return sum, nil
+}

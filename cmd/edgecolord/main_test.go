@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/distec/distec"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *distec.Pool) {
+	t.Helper()
+	pool := distec.NewPool(distec.PoolOptions{Workers: 2})
+	ts := httptest.NewServer(newServer(pool))
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+	})
+	return ts, pool
+}
+
+func postColor(t *testing.T, ts *httptest.Server, req colorRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/color", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestColorEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := distec.RandomRegular(48, 6, 17)
+	spec := graphToSpec(g)
+
+	resp, body := postColor(t, ts, colorRequest{Graph: spec, Algorithm: "pr01"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr colorResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Verified {
+		t.Fatal("response not verified")
+	}
+	if err := distec.Verify(g, cr.Colors); err != nil {
+		t.Fatalf("returned coloring invalid: %v", err)
+	}
+	// Bit-identical to the one-shot sequential API.
+	want, err := distec.ColorEdges(g, distec.Options{Algorithm: distec.PR01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Rounds != want.Rounds || cr.Messages != want.Messages {
+		t.Fatalf("stats %d/%d, want %d/%d", cr.Rounds, cr.Messages, want.Rounds, want.Messages)
+	}
+	for e := range want.Colors {
+		if cr.Colors[e] != want.Colors[e] {
+			t.Fatalf("edge %d: %d, want %d", e, cr.Colors[e], want.Colors[e])
+		}
+	}
+}
+
+func TestColorListAndExtend(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := distec.Cycle(12)
+	spec := graphToSpec(g)
+	palette := 5
+	lists := make([][]int, g.M())
+	for e := range lists {
+		lists[e] = []int{0, 1, 2, 3, 4}
+	}
+
+	resp, body := postColor(t, ts, colorRequest{Graph: spec, Lists: lists, Palette: palette})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d: %s", resp.StatusCode, body)
+	}
+	var cr colorResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if err := distec.VerifyList(g, lists, cr.Colors); err != nil {
+		t.Fatalf("list coloring invalid: %v", err)
+	}
+
+	partial := make([]int, g.M())
+	for e := range partial {
+		partial[e] = -1
+	}
+	partial[0] = 3
+	resp, body = postColor(t, ts, colorRequest{Graph: spec, Lists: lists, Partial: partial, Palette: palette})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extend: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Colors[0] != 3 {
+		t.Fatalf("extension dropped the fixed color: %v", cr.Colors[0])
+	}
+	if err := distec.Verify(g, cr.Colors); err != nil {
+		t.Fatalf("extension invalid: %v", err)
+	}
+}
+
+func TestColorBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad json", "{", http.StatusBadRequest},
+		{"bad edge", `{"graph":{"n":3,"edges":[[0,7]]}}`, http.StatusBadRequest},
+		{"self loop", `{"graph":{"n":3,"edges":[[1,1]]}}`, http.StatusBadRequest},
+		{"unknown algorithm", `{"graph":{"n":3,"edges":[[0,1]]},"algorithm":"warp"}`, http.StatusBadRequest},
+		{"lists without palette", `{"graph":{"n":3,"edges":[[0,1]]},"lists":[[0,1]]}`, http.StatusBadRequest},
+		{"partial without lists", `{"graph":{"n":3,"edges":[[0,1]]},"partial":[-1],"palette":3}`, http.StatusBadRequest},
+		{"bad palette", `{"graph":{"n":3,"edges":[[0,1],[1,2]]},"palette":1}`, http.StatusBadRequest},
+		// A tiny body must not be able to force an O(n) or O(palette)
+		// allocation.
+		{"oversized n", `{"graph":{"n":2000000000,"edges":[[0,1]]}}`, http.StatusBadRequest},
+		{"oversized palette", `{"graph":{"n":3,"edges":[[0,1]]},"palette":2000000000}`, http.StatusBadRequest},
+		{"oversized extend palette", `{"graph":{"n":2,"edges":[[0,1]]},"lists":[[0]],"partial":[-1],"palette":2000000000}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/color", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+	// GET is not allowed on /v1/color.
+	resp, err := http.Get(ts.URL + "/v1/color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	postColor(t, ts, colorRequest{Graph: graphToSpec(distec.Cycle(10))})
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Submitted == 0 || stats.Workers == 0 || stats.HTTPRequests == 0 {
+		t.Fatalf("stats look empty: %+v", stats)
+	}
+}
+
+func TestColorTimeout(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := postColor(t, ts, colorRequest{
+		Graph:     graphToSpec(distec.Cycle(30000)),
+		Algorithm: "greedy-classes",
+		TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	classes, err := parseMix("small=2,large=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 || classes[0].name != "small" || classes[0].weight != 2 {
+		t.Fatalf("classes: %+v", classes)
+	}
+	for _, bad := range []string{"", "small", "small=x", "small=-1", "warp=1", "small=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("accepted mix %q", bad)
+		}
+	}
+}
+
+func TestDriveLoadRejectsBadRate(t *testing.T) {
+	classes, err := parseMix("small=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0, -1, 2e9, math.Inf(1), math.NaN()} {
+		if _, err := driveLoad("http://127.0.0.1:1/", rate, time.Millisecond, classes, io.Discard); err == nil {
+			t.Fatalf("accepted rate %v", rate)
+		}
+	}
+}
+
+func TestDriveLoad(t *testing.T) {
+	ts, _ := newTestServer(t)
+	classes, err := parseMix("small=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sum, err := driveLoad(ts.URL, 50, 300*time.Millisecond, classes, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests == 0 {
+		t.Fatal("no requests driven")
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("%d drive errors: %s", sum.Errors, out.String())
+	}
+	if !strings.Contains(out.String(), "daemon stats") {
+		t.Fatalf("summary missing daemon stats: %s", out.String())
+	}
+	if _, err := driveLoad("http://127.0.0.1:1/", 10, time.Millisecond, classes, &out); err == nil {
+		t.Fatal("drove an unreachable daemon")
+	}
+}

@@ -150,17 +150,10 @@ func (o Options) engine() (local.Engine, error) {
 // ColorEdges computes a proper edge coloring of g with palette
 // {0, …, Palette−1} (default 2Δ−1). All edges participate.
 func ColorEdges(g *Graph, opts Options) (*Result, error) {
-	c := opts.Palette
-	if c == 0 {
-		c = 2*g.MaxDegree() - 1
-		if c < 1 {
-			c = 1
-		}
+	in, err := uniformInstance(g, opts.Palette)
+	if err != nil {
+		return nil, err
 	}
-	if dbar := g.MaxEdgeDegree(); c <= dbar {
-		return nil, fmt.Errorf("distec: palette %d not greater than Δ̄=%d", c, dbar)
-	}
-	in := listcolor.NewUniform(g, c)
 	return colorInstance(g, in, opts)
 }
 
@@ -169,15 +162,8 @@ func ColorEdges(g *Graph, opts Options) (*Result, error) {
 // [0, palette)), and |lists[e]| must exceed deg(e). This is the paper's
 // primary problem statement.
 func ColorEdgesList(g *Graph, lists [][]int, palette int, opts Options) (*Result, error) {
-	if len(lists) != g.M() {
-		return nil, fmt.Errorf("distec: %d lists for %d edges", len(lists), g.M())
-	}
-	active := make([]bool, g.M())
-	for e := range active {
-		active[e] = true
-	}
-	in := &listcolor.Instance{G: g, Active: active, Lists: lists, C: palette}
-	if err := in.Validate(1); err != nil {
+	in, err := listInstance(g, lists, palette)
+	if err != nil {
 		return nil, err
 	}
 	return colorInstance(g, in, opts)
@@ -190,6 +176,53 @@ func ColorEdgesList(g *Graph, lists [][]int, palette int, opts Options) (*Result
 // the edge's uncolored conflict degree, which holds in particular whenever
 // |lists[e]| > deg(e) and the partial coloring is proper.
 func ExtendColoring(g *Graph, partial []int, lists [][]int, palette int, opts Options) (*Result, error) {
+	in, err := extendInstance(g, partial, lists, palette)
+	if err != nil {
+		return nil, err
+	}
+	res, err := colorInstance(g, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	mergePartial(res, partial)
+	return res, nil
+}
+
+// uniformInstance builds the full-palette instance of ColorEdges (palette 0
+// selects 2Δ−1).
+func uniformInstance(g *Graph, palette int) (*listcolor.Instance, error) {
+	c := palette
+	if c == 0 {
+		c = 2*g.MaxDegree() - 1
+		if c < 1 {
+			c = 1
+		}
+	}
+	if dbar := g.MaxEdgeDegree(); c <= dbar {
+		return nil, fmt.Errorf("distec: palette %d not greater than Δ̄=%d", c, dbar)
+	}
+	return listcolor.NewUniform(g, c), nil
+}
+
+// listInstance builds and validates the instance of ColorEdgesList.
+func listInstance(g *Graph, lists [][]int, palette int) (*listcolor.Instance, error) {
+	if len(lists) != g.M() {
+		return nil, fmt.Errorf("distec: %d lists for %d edges", len(lists), g.M())
+	}
+	active := make([]bool, g.M())
+	for e := range active {
+		active[e] = true
+	}
+	in := &listcolor.Instance{G: g, Active: active, Lists: lists, C: palette}
+	if err := in.Validate(1); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// extendInstance builds and validates the instance of ExtendColoring: the
+// uncolored edges, with the fixed neighbors' colors pruned from their lists.
+func extendInstance(g *Graph, partial []int, lists [][]int, palette int) (*listcolor.Instance, error) {
 	if len(partial) != g.M() || len(lists) != g.M() {
 		return nil, fmt.Errorf("distec: partial/lists sized %d/%d for %d edges", len(partial), len(lists), g.M())
 	}
@@ -210,38 +243,63 @@ func ExtendColoring(g *Graph, partial []int, lists [][]int, palette int, opts Op
 	}
 	active := make([]bool, g.M())
 	pruned := make([][]int, g.M())
+	// used is a color-indexed scratch, stamped with e+1 while pruning edge
+	// e: one O(palette) allocation for the whole call, where a per-edge set
+	// would cost O(deg) map operations per uncolored edge. Colors outside
+	// [0, palette) cannot collide with (validated) list entries, so they
+	// simply stay unstamped.
+	var used []int
+	if palette > 0 {
+		used = make([]int, palette)
+	}
 	for e := 0; e < g.M(); e++ {
 		if partial[e] >= 0 {
 			continue
 		}
 		active[e] = true
-		used := make(map[int]bool)
+		stamp := e + 1
 		g.ForEachEdgeNeighbor(graph.EdgeID(e), func(f graph.EdgeID) {
-			if partial[f] >= 0 {
-				used[partial[f]] = true
+			if c := partial[f]; c >= 0 && c < len(used) {
+				used[c] = stamp
 			}
 		})
+		hit := 0
 		for _, c := range lists[e] {
-			if !used[c] {
-				pruned[e] = append(pruned[e], c)
+			if c >= 0 && c < len(used) && used[c] == stamp {
+				hit++
 			}
 		}
+		if hit == 0 {
+			// Nothing to prune: share the caller's list (read-only by
+			// contract) instead of copying it.
+			pruned[e] = lists[e]
+			continue
+		}
+		out := make([]int, 0, len(lists[e])-hit)
+		for _, c := range lists[e] {
+			if c >= 0 && c < len(used) && used[c] == stamp {
+				continue
+			}
+			out = append(out, c)
+		}
+		pruned[e] = out
 	}
 	in := &listcolor.Instance{G: g, Active: active, Lists: pruned, C: palette}
 	if err := in.Validate(1); err != nil {
 		return nil, err
 	}
-	res, err := colorInstance(g, in, opts)
-	if err != nil {
-		return nil, err
-	}
-	for e := 0; e < g.M(); e++ {
-		if partial[e] >= 0 {
-			res.Colors[e] = partial[e]
+	return in, nil
+}
+
+// mergePartial copies the fixed colors of a partial coloring back into an
+// extension result and recounts the distinct colors.
+func mergePartial(res *Result, partial []int) {
+	for e, c := range partial {
+		if c >= 0 {
+			res.Colors[e] = c
 		}
 	}
 	res.ColorsUsed = verify.CountColors(res.Colors)
-	return res, nil
 }
 
 func colorInstance(g *Graph, in *listcolor.Instance, opts Options) (*Result, error) {
@@ -249,10 +307,18 @@ func colorInstance(g *Graph, in *listcolor.Instance, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	return colorOn(g, in, opts, run)
+}
+
+// colorOn solves the instance with the selected algorithm on an explicit
+// engine — the seam shared by the one-shot API (engine from Options) and
+// Pool (a job-bound engine over the shared worker lanes).
+func colorOn(g *Graph, in *listcolor.Instance, opts Options, run local.Engine) (*Result, error) {
 	var (
 		colors []int
 		stats  local.Stats
 		diag   *Diagnostics
+		err    error
 	)
 	switch opts.Algorithm {
 	case "", BKO, BKOTheory:

@@ -150,11 +150,24 @@ type Factory func(v View) Protocol
 // which indicates a livelocked or diverging protocol.
 var ErrRoundLimit = errors.New("local: round limit exceeded")
 
+// ErrPanic marks (via errors.Is) run errors produced by converting a panic
+// during protocol execution — a server-side defect, never a property of the
+// input. The serving layer's isolated executions wrap recovered panics with
+// it so callers (e.g. an HTTP daemon) can classify them as internal errors.
+var ErrPanic = errors.New("local: panic during protocol execution")
+
 // Options tunes an engine run.
 type Options struct {
 	// MaxRounds caps the execution (default DefaultMaxRounds). Exceeding it
 	// returns ErrRoundLimit.
 	MaxRounds int
+	// Interrupt, when non-nil, is polled by every engine about once per
+	// round; the first non-nil error aborts the run and is returned as the
+	// run error. It is how callers plumb context cancellation and deadlines
+	// into an execution (see internal/serve). Interrupt must be safe for
+	// concurrent use: the parallel engines may poll it from worker
+	// goroutines.
+	Interrupt func() error
 }
 
 // DefaultMaxRounds is the round cap applied when Options.MaxRounds is unset.
@@ -169,6 +182,15 @@ func (o *Options) RoundLimit() int {
 	return o.MaxRounds
 }
 
+// Interrupted polls the Interrupt hook, tolerating a nil receiver and a nil
+// hook (both mean "never interrupted"). Engines call it about once per round.
+func (o *Options) Interrupted() error {
+	if o == nil || o.Interrupt == nil {
+		return nil
+	}
+	return o.Interrupt()
+}
+
 // slot identifies one inbox cell for sparse clearing.
 type slot struct {
 	entity int32
@@ -176,114 +198,19 @@ type slot struct {
 }
 
 // RunSequential executes the protocol deterministically on a single
-// goroutine and returns the execution stats.
+// goroutine and returns the execution stats. It is the reference engine:
+// one full iteration of its loop per round, driven by SeqExec (the step
+// form the serving layer slices).
 //
 // Inbox buffers are cleared sparsely (only slots written in a buffer's
 // previous use), so a round's cost is O(active entities + messages) rather
 // than O(total ports) — essential for long, sparse schedules such as the
 // one-class-per-round greedy phases.
 func RunSequential(t *Topology, f Factory, opts *Options) (Stats, error) {
-	n := t.N()
-	procs := make([]Protocol, n)
-	sparse := make([]SparseReceiver, n)
-	sleepers := make([]Sleeper, n)
-	for i := 0; i < n; i++ {
-		procs[i] = f(t.ViewOf(i))
-		if sr, ok := procs[i].(SparseReceiver); ok {
-			sparse[i] = sr
-		}
-		if sl, ok := procs[i].(Sleeper); ok {
-			sleepers[i] = sl
-		}
+	x := NewSeqExec(t, f, opts)
+	for !x.Round() {
 	}
-	wake := make([]int, n) // round before which entity i is skipped
-	inboxes := make([][]Message, n)
-	nextInboxes := make([][]Message, n)
-	for i := 0; i < n; i++ {
-		inboxes[i] = make([]Message, len(t.Ports[i]))
-		nextInboxes[i] = make([]Message, len(t.Ports[i]))
-	}
-	// touched[b] lists the slots written into buffer b since it was last
-	// cleared; buffers swap roles each round. gotMsg counts this round's
-	// deliveries per entity (reset sparsely via the touched list).
-	var touched [2][]slot
-	cur := 0
-	gotMsg := make([]int32, n)
-	// order is the compact list of still-active entities, in ascending
-	// order (compaction preserves it), so rounds cost O(active), not O(n).
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	var stats Stats
-	limit := opts.RoundLimit()
-	for r := 1; len(order) > 0; r++ {
-		if r > limit {
-			return stats, fmt.Errorf("%w (limit %d)", ErrRoundLimit, limit)
-		}
-		stats.Rounds = r
-		// Clear the stale entries of the buffer about to be written and the
-		// previous round's delivery counters.
-		for _, s := range touched[cur] {
-			nextInboxes[s.entity][s.port] = nil
-		}
-		touched[cur] = touched[cur][:0]
-		for _, s := range touched[1-cur] {
-			gotMsg[s.entity] = 0
-		}
-		for _, i32 := range order {
-			i := int(i32)
-			if wake[i] > r {
-				continue
-			}
-			out := procs[i].Send(r)
-			if out == nil {
-				continue
-			}
-			if len(out) != len(t.Ports[i]) {
-				return stats, fmt.Errorf("local: entity %d sent %d messages, has %d ports", i, len(out), len(t.Ports[i]))
-			}
-			for p, msg := range out {
-				if msg == nil {
-					continue
-				}
-				j := t.Ports[i][p]
-				back := t.Back[i][p]
-				nextInboxes[j][back] = msg
-				touched[cur] = append(touched[cur], slot{entity: j, port: back})
-				gotMsg[j]++
-				stats.Messages++
-			}
-		}
-		inboxes, nextInboxes = nextInboxes, inboxes
-		cur = 1 - cur
-		w := 0
-		for _, i32 := range order {
-			i := int(i32)
-			if wake[i] > r && gotMsg[i] == 0 {
-				// Sleeping and nothing arrived: skip by contract.
-				order[w] = i32
-				w++
-				continue
-			}
-			var done bool
-			if gotMsg[i] == 0 && sparse[i] != nil {
-				done = sparse[i].ReceiveNone(r)
-				if !done && sleepers[i] != nil {
-					wake[i] = sleepers[i].NextWake(r)
-				}
-			} else {
-				done = procs[i].Receive(r, inboxes[i])
-				wake[i] = 0
-			}
-			if !done {
-				order[w] = i32
-				w++
-			}
-		}
-		order = order[:w]
-	}
-	return stats, nil
+	return x.Stats()
 }
 
 // RunGoroutines executes the protocol with one goroutine per entity and one
@@ -331,6 +258,20 @@ func RunGoroutines(t *Topology, f Factory, opts *Options) (Stats, error) {
 					mu.Unlock()
 					barrier.cancel()
 					break
+				}
+				// Entity 0 polls the interrupt hook on behalf of the run (one
+				// poll per round, like the other engines); cancellation then
+				// propagates to every goroutine through the barrier.
+				if i == 0 {
+					if err := opts.Interrupted(); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						barrier.cancel()
+						break
+					}
 				}
 				if !done {
 					out := proc.Send(r)

@@ -1,0 +1,189 @@
+package local
+
+import (
+	"fmt"
+	"time"
+)
+
+// SeqExec is the step-driven form of the sequential engine: Prepare the
+// state once, then call Round (one synchronous round, exactly one iteration
+// of RunSequential's loop) until it reports completion. RunSequential is a
+// thin wrapper over it, so the two are bit-identical by construction.
+//
+// The step form exists for the serving layer: a shared worker lane can run
+// a large execution in bounded time slices (Rounds) instead of holding the
+// lane for the whole run, at full sequential speed — no barriers, no
+// cross-goroutine handoff. Not safe for concurrent use.
+type SeqExec struct {
+	t        *Topology
+	opts     *Options
+	procs    []Protocol
+	sparse   []SparseReceiver
+	sleepers []Sleeper
+	wake     []int
+	inboxes  [][]Message
+	next     [][]Message
+	touched  [2][]slot
+	cur      int
+	gotMsg   []int32
+	order    []int32
+	limit    int
+
+	r     int
+	stats Stats
+	err   error
+	done  bool
+}
+
+// NewSeqExec constructs the per-entity protocol state for a step-driven
+// sequential execution. The returned SeqExec has executed zero rounds.
+func NewSeqExec(t *Topology, f Factory, opts *Options) *SeqExec {
+	n := t.N()
+	x := &SeqExec{
+		t:        t,
+		opts:     opts,
+		procs:    make([]Protocol, n),
+		sparse:   make([]SparseReceiver, n),
+		sleepers: make([]Sleeper, n),
+		wake:     make([]int, n),
+		inboxes:  make([][]Message, n),
+		next:     make([][]Message, n),
+		gotMsg:   make([]int32, n),
+		order:    make([]int32, n),
+		limit:    opts.RoundLimit(),
+	}
+	for i := 0; i < n; i++ {
+		x.procs[i] = f(t.ViewOf(i))
+		if sr, ok := x.procs[i].(SparseReceiver); ok {
+			x.sparse[i] = sr
+		}
+		if sl, ok := x.procs[i].(Sleeper); ok {
+			x.sleepers[i] = sl
+		}
+		x.inboxes[i] = make([]Message, len(t.Ports[i]))
+		x.next[i] = make([]Message, len(t.Ports[i]))
+		x.order[i] = int32(i)
+	}
+	return x
+}
+
+// Done reports whether the execution has finished (successfully or not).
+func (x *SeqExec) Done() bool { return x.done }
+
+// Stats returns the execution cost so far and the first error, exactly what
+// RunSequential would have returned; final once Done reports true.
+func (x *SeqExec) Stats() (Stats, error) { return x.stats, x.err }
+
+// Round executes one synchronous round. It returns true once the execution
+// has finished; further calls are no-ops.
+func (x *SeqExec) Round() bool {
+	if x.done {
+		return true
+	}
+	if len(x.order) == 0 {
+		x.done = true
+		return true
+	}
+	r := x.r + 1
+	x.r = r
+	if r > x.limit {
+		x.err = fmt.Errorf("%w (limit %d)", ErrRoundLimit, x.limit)
+		x.done = true
+		return true
+	}
+	if err := x.opts.Interrupted(); err != nil {
+		x.err = err
+		x.done = true
+		return true
+	}
+	x.stats.Rounds = r
+	t, cur := x.t, x.cur
+	// Clear the stale entries of the buffer about to be written and the
+	// previous round's delivery counters.
+	for _, s := range x.touched[cur] {
+		x.next[s.entity][s.port] = nil
+	}
+	x.touched[cur] = x.touched[cur][:0]
+	for _, s := range x.touched[1-cur] {
+		x.gotMsg[s.entity] = 0
+	}
+	for _, i32 := range x.order {
+		i := int(i32)
+		if x.wake[i] > r {
+			continue
+		}
+		out := x.procs[i].Send(r)
+		if out == nil {
+			continue
+		}
+		if len(out) != len(t.Ports[i]) {
+			x.err = fmt.Errorf("local: entity %d sent %d messages, has %d ports", i, len(out), len(t.Ports[i]))
+			x.done = true
+			return true
+		}
+		for p, msg := range out {
+			if msg == nil {
+				continue
+			}
+			j := t.Ports[i][p]
+			back := t.Back[i][p]
+			x.next[j][back] = msg
+			x.touched[cur] = append(x.touched[cur], slot{entity: j, port: back})
+			x.gotMsg[j]++
+			x.stats.Messages++
+		}
+	}
+	x.inboxes, x.next = x.next, x.inboxes
+	x.cur = 1 - cur
+	w := 0
+	for _, i32 := range x.order {
+		i := int(i32)
+		if x.wake[i] > r && x.gotMsg[i] == 0 {
+			// Sleeping and nothing arrived: skip by contract.
+			x.order[w] = i32
+			w++
+			continue
+		}
+		var done bool
+		if x.gotMsg[i] == 0 && x.sparse[i] != nil {
+			done = x.sparse[i].ReceiveNone(r)
+			if !done && x.sleepers[i] != nil {
+				x.wake[i] = x.sleepers[i].NextWake(r)
+			}
+		} else {
+			done = x.procs[i].Receive(r, x.inboxes[i])
+			x.wake[i] = 0
+		}
+		if !done {
+			x.order[w] = i32
+			w++
+		}
+	}
+	x.order = x.order[:w]
+	if len(x.order) == 0 {
+		x.done = true
+		return true
+	}
+	return false
+}
+
+// Rounds executes rounds until the execution finishes or the time budget
+// elapses, whichever is first, and reports whether it finished. At least
+// one round is executed per call. A budget ≤0 means "until finished".
+func (x *SeqExec) Rounds(budget time.Duration) bool {
+	if x.done {
+		return true
+	}
+	var until time.Time
+	if budget > 0 {
+		until = time.Now().Add(budget)
+	}
+	for {
+		if x.Round() {
+			return true
+		}
+		if budget > 0 && !time.Now().Before(until) {
+			return false
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is the number of most recent job latencies the quantile window
+// keeps (a ring buffer; quantiles are over this window, not all time).
+const latWindow = 1024
+
+// metrics is the pool's running instrumentation. Counters are atomics so
+// the hot paths never share a lock; only the latency ring takes one, once
+// per completed job.
+type metrics struct {
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+
+	seqRuns    atomic.Uint64
+	slicedRuns atomic.Uint64
+	fanoutRuns atomic.Uint64
+
+	rounds   atomic.Int64
+	messages atomic.Int64
+
+	waiting atomic.Int64
+	running atomic.Int64
+
+	latMu sync.Mutex
+	lat   [latWindow]time.Duration
+	latN  int
+}
+
+func (m *metrics) recordLatency(d time.Duration) {
+	m.latMu.Lock()
+	m.lat[m.latN%latWindow] = d
+	m.latN++
+	m.latMu.Unlock()
+}
+
+// quantiles returns the p50 and p99 job latency over the window (zeros
+// before the first completion).
+func (m *metrics) quantiles() (p50, p99 time.Duration) {
+	m.latMu.Lock()
+	n := m.latN
+	if n > latWindow {
+		n = latWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, m.lat[:n])
+	m.latMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return window[n/2], window[(n*99)/100]
+}
+
+// Stats is a point-in-time snapshot of the pool's metrics.
+type Stats struct {
+	// Workers is the number of worker lanes; QueueDepth the admission bound.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Waiting counts jobs blocked on admission; Running counts admitted
+	// jobs currently executing.
+	Waiting int64 `json:"waiting"`
+	Running int64 `json:"running"`
+	// Job counts by outcome. Submitted = Completed + Failed + Cancelled +
+	// still in flight.
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	// Protocol executions by route: whole-on-one-lane sequential, sliced
+	// single-lane, fanned-out multi-lane.
+	SequentialRuns uint64 `json:"sequential_runs"`
+	SlicedRuns     uint64 `json:"sliced_runs"`
+	FanoutRuns     uint64 `json:"fanout_runs"`
+	// Rounds and Messages total the LOCAL cost served.
+	Rounds   int64 `json:"rounds"`
+	Messages int64 `json:"messages"`
+	// LatencyP50/P99 are job-latency quantiles over the last latWindow
+	// completed jobs.
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+}
+
+// Stats returns a snapshot of the pool's metrics.
+func (p *Pool) Stats() Stats {
+	p50, p99 := p.m.quantiles()
+	return Stats{
+		Workers:        p.workers,
+		QueueDepth:     p.queueDepth,
+		Waiting:        p.m.waiting.Load(),
+		Running:        p.m.running.Load(),
+		Submitted:      p.m.submitted.Load(),
+		Completed:      p.m.completed.Load(),
+		Failed:         p.m.failed.Load(),
+		Cancelled:      p.m.cancelled.Load(),
+		SequentialRuns: p.m.seqRuns.Load(),
+		SlicedRuns:     p.m.slicedRuns.Load(),
+		FanoutRuns:     p.m.fanoutRuns.Load(),
+		Rounds:         p.m.rounds.Load(),
+		Messages:       p.m.messages.Load(),
+		LatencyP50:     p50,
+		LatencyP99:     p99,
+	}
+}

@@ -1,0 +1,225 @@
+// Package serve is the multi-tenant serving layer: one long-lived pool of
+// worker lanes (one per core by default) multiplexing many concurrent
+// coloring jobs, where each one-shot distec call would otherwise spin up —
+// and tear down — an engine of its own.
+//
+// A job enters through Do with its own context (cancellation + deadline)
+// and runs its protocol executions through a job-bound local.Engine that
+// routes every execution onto the shared lanes:
+//
+//   - Small topologies take the fast path: the whole execution runs as one
+//     task on one lane via local.RunSequential, the fastest engine for
+//     small instances — no barriers, no cross-goroutine handoff.
+//   - Large topologies run step-driven: with several lanes the per-shard
+//     phase work of each round fans out across them (sharded.Exec); with
+//     one lane the rounds run in bounded time slices of the sequential
+//     step form (local.SeqExec), at full sequential speed. Either way a
+//     huge graph occupies the lanes only round by round (or slice by
+//     slice), so it cannot starve the queue — FIFO task order interleaves
+//     every in-flight job at round granularity.
+//
+// Admission is bounded (Options.QueueDepth): at most that many jobs are in
+// flight, further submissions block — backpressure — until a slot frees or
+// their context is done. The pool keeps running metrics (job counts, queue
+// depth, p50/p99 latency, LOCAL rounds and messages served); see Stats.
+//
+// Results are bit-identical to local.RunSequential for every protocol in
+// the repository: both routes reuse engines with exactly that guarantee.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/distec/distec/internal/local"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultSmallJob is the entity-count threshold at or below which an
+	// execution takes the sequential fast path.
+	DefaultSmallJob = 4096
+	// DefaultSlice bounds how long a single-lane slice of a large execution
+	// may hold its lane.
+	DefaultSlice = 2 * time.Millisecond
+)
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("serve: pool is closed")
+
+// Options configures a Pool. The zero value selects one worker lane per
+// core, a queue depth of four jobs per lane, and the default small-job
+// threshold and time slice.
+type Options struct {
+	// Workers is the number of worker lanes (default: runtime.GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs in flight at once (admitted, not
+	// merely submitted); further Do calls block until a slot frees or their
+	// context is done. Default: 4×Workers.
+	QueueDepth int
+	// SmallJob is the entity-count threshold at or below which a protocol
+	// execution runs whole on one lane via the sequential engine instead of
+	// being sharded. Negative disables the fast path. Default:
+	// DefaultSmallJob.
+	SmallJob int
+	// Slice bounds how long one task of a single-lane (non-fanned) large
+	// execution holds its lane before other jobs get a turn. Default:
+	// DefaultSlice.
+	Slice time.Duration
+}
+
+// Pool is the shared-lane batch scheduler. Create with New, submit jobs
+// with Do, shut down with Close. All methods are safe for concurrent use.
+type Pool struct {
+	workers    int
+	queueDepth int
+	smallJob   int
+	slice      time.Duration
+
+	tasks chan func()   // the worker lanes' shared task queue
+	sem   chan struct{} // admission slots (QueueDepth)
+
+	mu      sync.Mutex
+	closed  bool
+	jobs    sync.WaitGroup // in-flight jobs (admitted, not yet returned)
+	drivers sync.WaitGroup // fanout driver goroutines (may outlive their job)
+	lanes   sync.WaitGroup // worker lane goroutines
+
+	m metrics
+}
+
+// New starts a pool: Workers lane goroutines ready to execute job tasks.
+func New(o Options) *Pool {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	q := o.QueueDepth
+	if q <= 0 {
+		q = 4 * w
+	}
+	small := o.SmallJob
+	if small == 0 {
+		small = DefaultSmallJob
+	}
+	slice := o.Slice
+	if slice <= 0 {
+		slice = DefaultSlice
+	}
+	p := &Pool{
+		workers:    w,
+		queueDepth: q,
+		smallJob:   small,
+		slice:      slice,
+		tasks:      make(chan func(), 4*w+16),
+		sem:        make(chan struct{}, q),
+	}
+	p.lanes.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer p.lanes.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the number of worker lanes.
+func (p *Pool) Workers() int { return p.workers }
+
+// Closed reports whether Close has begun. Layers above the pool (e.g. a
+// result cache) use it to honor the after-Close contract on paths that
+// would not otherwise reach Do.
+func (p *Pool) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Do runs one job on the pool: fn receives a local.Engine bound to ctx that
+// executes every protocol run on the shared lanes (see the package comment
+// for routing). Do blocks until the job finishes or ctx is done — first
+// while waiting for an admission slot, then because the engine aborts
+// in-flight executions via the Interrupt seam. The engine must not be used
+// after fn returns, and fn must not call Do itself (a job scheduling jobs
+// could deadlock admission).
+func (p *Pool) Do(ctx context.Context, fn func(local.Engine) error) error {
+	p.m.submitted.Add(1)
+	p.m.waiting.Add(1)
+	select {
+	case p.sem <- struct{}{}:
+		p.m.waiting.Add(-1)
+	case <-ctx.Done():
+		p.m.waiting.Add(-1)
+		p.m.cancelled.Add(1)
+		return ctx.Err()
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.sem
+		p.m.failed.Add(1)
+		return ErrClosed
+	}
+	p.jobs.Add(1)
+	p.mu.Unlock()
+	p.m.running.Add(1)
+	start := time.Now()
+	var (
+		err      error
+		finished bool
+	)
+	// The accounting runs in a defer so it survives a panic in fn (an HTTP
+	// server recovers handler panics on the far side of this frame): a
+	// leaked admission slot would shrink the pool forever, and a leaked
+	// jobs.Add would deadlock Close. The panic itself keeps unwinding.
+	defer func() {
+		p.m.recordLatency(time.Since(start))
+		p.m.running.Add(-1)
+		switch {
+		case !finished:
+			p.m.failed.Add(1) // fn panicked
+		case err == nil:
+			p.m.completed.Add(1)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			p.m.cancelled.Add(1)
+		default:
+			p.m.failed.Add(1)
+		}
+		p.jobs.Done()
+		<-p.sem
+	}()
+	err = fn(&jobEngine{p: p, ctx: ctx})
+	finished = true
+	return err
+}
+
+// Close stops admission, waits for in-flight jobs to drain, and stops the
+// worker lanes. Jobs submitted after (or during) Close fail with ErrClosed;
+// Close never abandons a running job. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.lanes.Wait() // lose the race to the first Close, but return drained
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.jobs.Wait()
+	// Fanout drivers abandoned by a cancelled job may still be fanning
+	// their final round onto the lanes; they halt on their own (Interrupt)
+	// and must finish before the task channel closes.
+	p.drivers.Wait()
+	close(p.tasks)
+	p.lanes.Wait()
+}
+
+// Execute implements sharded.Executor: phase tasks of fanned-out large
+// executions share the same lanes (and FIFO order) as whole small jobs.
+func (p *Pool) Execute(task func()) { p.tasks <- task }

@@ -116,7 +116,7 @@ func (e *Engine) Run(t *local.Topology, f local.Factory, opts *local.Options) (l
 	shardOf := shardMap(bounds, n)
 
 	workers := make([]*worker, shards)
-	st := &runState{limit: opts.RoundLimit(), active: make([]int64, shards)}
+	st := &runState{limit: opts.RoundLimit(), interrupt: interruptOf(opts), active: make([]int64, shards)}
 	ph := newPhaser(shards)
 	timed := e.cfg.Collect != nil
 	var wg sync.WaitGroup

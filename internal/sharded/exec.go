@@ -1,0 +1,204 @@
+package sharded
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/distec/distec/internal/local"
+)
+
+// Executor schedules tasks onto workers owned by someone else. It is the
+// seam that detaches the sharded scheduler from a single Run: an Exec fans
+// its per-shard phase work out through an Executor instead of spawning its
+// own goroutines, so one long-lived worker pool (internal/serve) can
+// multiplex the rounds of many concurrent executions.
+//
+// Execute must run every task exactly once, on any goroutine, and may block
+// until a worker is free. Tasks of one phase are independent; the Exec
+// provides the barrier between phases itself.
+type Executor interface {
+	Execute(task func())
+}
+
+// goExecutor is the trivial executor: one fresh goroutine per task. It is
+// what tests use when no shared pool is around.
+type goExecutor struct{}
+
+func (goExecutor) Execute(task func()) { go task() }
+
+// GoExecutor runs every task on a fresh goroutine.
+var GoExecutor Executor = goExecutor{}
+
+// Exec is one in-flight execution whose rounds are driven externally: build
+// it with Prepare, then call Round (or Rounds) until it reports completion,
+// then read Stats. In contrast to Engine.Run — which owns its workers for
+// the whole execution and synchronizes them with persistent barriers — an
+// Exec holds no goroutines at all between steps, so many Execs can share
+// one worker pool, interleaving at round granularity.
+//
+// Error-free executions are bit-identical to Engine.Run and to
+// local.RunSequential: identical colors, rounds, and message counts.
+//
+// The driving goroutine must not call Round concurrently with itself; the
+// parallelism is inside a round, across shards.
+type Exec struct {
+	t       *local.Topology
+	opts    *local.Options
+	st      *runState
+	workers []*worker
+	shardOf []int32
+	par     int
+	r       int
+	done    bool
+	stats   local.Stats
+}
+
+// Prepare partitions the topology into at most shards blocks (≤0 selects
+// one per core, clamped to the entity count as in Engine.Run) and constructs
+// the per-shard protocol state, fanning construction out through exec (nil
+// runs it inline). The returned Exec has executed zero rounds.
+func Prepare(t *local.Topology, f local.Factory, opts *local.Options, shards int, exec Executor) *Exec {
+	n := t.N()
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > n {
+		shards = n
+	}
+	x := &Exec{t: t, opts: opts}
+	if n == 0 {
+		x.done = true
+		return x
+	}
+	weights := make([]int, n)
+	for i := range weights {
+		weights[i] = len(t.Ports[i]) + 1
+	}
+	bounds := Partition(weights, shards)
+	shards = len(bounds) - 1
+	x.shardOf = shardMap(bounds, n)
+	x.st = &runState{limit: opts.RoundLimit(), interrupt: interruptOf(opts), active: make([]int64, shards)}
+	x.workers = make([]*worker, shards)
+	x.each(exec, func(s int, _ *worker) {
+		x.workers[s] = newWorker(s, bounds[s], bounds[s+1], shards, t, f)
+	})
+	return x
+}
+
+// interruptOf extracts the interrupt hook of opts (nil-safe) in the closure
+// form runState wants.
+func interruptOf(opts *local.Options) func() error {
+	if opts == nil || opts.Interrupt == nil {
+		return nil
+	}
+	return opts.Interrupt
+}
+
+// Shards returns the effective shard count.
+func (x *Exec) Shards() int { return len(x.workers) }
+
+// Done reports whether the execution has finished (successfully or not).
+func (x *Exec) Done() bool { return x.done }
+
+// Stats returns the execution cost so far and the first error, mirroring
+// what Engine.Run would have returned. It may be called between rounds (not
+// concurrently with one); the result is final once Done reports true.
+func (x *Exec) Stats() (local.Stats, error) {
+	if x.st == nil {
+		return local.Stats{}, nil
+	}
+	s := x.stats
+	if !x.done {
+		for _, w := range x.workers {
+			s.Messages += w.sent
+		}
+	}
+	return s, x.st.getErr()
+}
+
+// each runs f for every shard and waits for all of them: through exec when
+// given and more than one shard exists, inline otherwise. The WaitGroup is
+// the inter-phase barrier; its Wait/Done edges give the same happens-before
+// guarantees the phaser gives Engine.Run.
+//
+// A panic on a fanned-out task is recorded as the execution's error rather
+// than unwinding the executor's worker goroutine (which, on a shared pool,
+// would kill every tenant): the next barrier check sees the error and the
+// execution halts. Inline execution lets panics propagate to the caller,
+// who owns the goroutine.
+func (x *Exec) each(exec Executor, f func(s int, w *worker)) {
+	if exec == nil || len(x.workers) <= 1 {
+		for s := range x.workers {
+			f(s, x.workers[s])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(x.workers))
+	for s := range x.workers {
+		s, w := s, x.workers[s]
+		exec.Execute(func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					x.st.recordErr(-1, fmt.Errorf("%w: shard %d: %v", local.ErrPanic, s, r))
+				}
+			}()
+			f(s, w)
+		})
+	}
+	wg.Wait()
+}
+
+// Round executes one synchronous round — send phase, barrier, deliver and
+// receive phase, barrier, halt decision — fanning the per-shard work out
+// through exec (nil runs inline on the caller). It returns true once the
+// execution has finished; further calls are no-ops.
+func (x *Exec) Round(exec Executor) bool {
+	if x.done {
+		return true
+	}
+	r := x.r + 1
+	x.r = r
+	st := x.st
+	if r > st.limit {
+		st.recordErr(-1, fmt.Errorf("%w (limit %d)", local.ErrRoundLimit, st.limit))
+		return x.finish()
+	}
+	if st.interrupt != nil {
+		if err := st.interrupt(); err != nil {
+			st.recordErr(-1, err)
+			return x.finish()
+		}
+	}
+	x.stats.Rounds = r
+	x.each(exec, func(_ int, w *worker) {
+		w.sendPhase(r, x.par, x.t, x.shardOf, st)
+	})
+	if st.getErr() == nil {
+		x.each(exec, func(_ int, w *worker) {
+			w.deliverPhase(x.par, x.workers)
+			w.receivePhase(r, x.par)
+		})
+	}
+	total := 0
+	for _, w := range x.workers {
+		total += len(w.active)
+	}
+	if total == 0 || st.getErr() != nil {
+		return x.finish()
+	}
+	x.par = 1 - x.par
+	return false
+}
+
+// finish seals the execution: message totals are aggregated once, so Stats
+// stays O(shards) and matches Engine.Run exactly.
+func (x *Exec) finish() bool {
+	x.done = true
+	for _, w := range x.workers {
+		x.stats.Messages += w.sent
+	}
+	return true
+}

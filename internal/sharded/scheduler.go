@@ -56,10 +56,11 @@ func (p *phaser) arrive(onLast func()) {
 // written under errMu; stop/rounds are written only inside phaser hooks and
 // read only after the corresponding arrive, so the phaser orders them.
 type runState struct {
-	limit  int
-	active []int64 // per-shard count of still-active entities
-	stop   bool
-	rounds int
+	limit     int
+	interrupt func() error // polled once per round (end-of-round hook)
+	active    []int64      // per-shard count of still-active entities
+	stop      bool
+	rounds    int
 
 	errMu     sync.Mutex
 	err       error
@@ -266,6 +267,11 @@ func (w *worker) loop(t *local.Topology, st *runState, ph *phaser, shardOf []int
 		st.active[w.id] = int64(len(w.active))
 		ph.arrive(func() {
 			st.rounds = r
+			if st.err == nil && st.interrupt != nil {
+				if err := st.interrupt(); err != nil {
+					st.recordErr(-1, err)
+				}
+			}
 			var total int64
 			for _, c := range st.active {
 				total += c

@@ -1,0 +1,248 @@
+package distec
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"github.com/distec/distec/internal/listcolor"
+	"github.com/distec/distec/internal/local"
+	"github.com/distec/distec/internal/serve"
+)
+
+// ErrPoolClosed is returned by Pool job submissions after Close.
+var ErrPoolClosed = serve.ErrClosed
+
+// ErrRoundLimit marks (via errors.Is) runs that exceeded the engine round
+// cap — a livelocked or diverging protocol, not a property of the input.
+var ErrRoundLimit = local.ErrRoundLimit
+
+// ErrProtocolPanic marks (via errors.Is) pool job errors produced by
+// converting a panic inside an isolated execution — a server-side defect,
+// never a property of the input.
+var ErrProtocolPanic = local.ErrPanic
+
+// PoolOptions configures NewPool. The zero value selects one worker lane
+// per core, a queue depth of four jobs per lane, and the default small-job
+// threshold.
+type PoolOptions struct {
+	// Workers is the number of worker lanes the pool owns (default: one per
+	// core). All protocol execution of all jobs happens on these lanes.
+	Workers int
+	// QueueDepth bounds the number of jobs in flight at once; further
+	// submissions block — backpressure — until a slot frees or their
+	// context is done. Default: 4×Workers.
+	QueueDepth int
+	// SmallJob is the entity-count threshold at or below which one protocol
+	// execution runs whole on a single lane via the sequential engine (the
+	// fastest engine for small instances) instead of being sharded across
+	// lanes. Negative disables the fast path. Default: 4096.
+	SmallJob int
+	// CacheSize bounds the result cache (entries): repeated identical
+	// ColorEdges requests — same graph, algorithm, palette, and seed — are
+	// served from memory, and identical requests in flight at the same time
+	// are computed once (single-flight). All algorithms are deterministic
+	// (Randomized is keyed by its seed), so a cached result is bit-identical
+	// to recomputing it. Negative disables caching. Default: 32.
+	CacheSize int
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's metrics.
+type PoolStats struct {
+	// Workers is the number of worker lanes; QueueDepth the admission bound.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Waiting counts jobs blocked on admission; Running counts admitted
+	// jobs currently executing.
+	Waiting int64 `json:"waiting"`
+	Running int64 `json:"running"`
+	// Job counts by outcome. Submitted = Completed + Failed + Cancelled +
+	// still in flight.
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	// Protocol executions by route: whole-on-one-lane sequential, sliced
+	// single-lane, fanned-out multi-lane.
+	SequentialRuns uint64 `json:"sequential_runs"`
+	SlicedRuns     uint64 `json:"sliced_runs"`
+	FanoutRuns     uint64 `json:"fanout_runs"`
+	// CacheHits counts requests served from the result cache (including
+	// single-flight waiters); cached requests do not appear in the job or
+	// run counters above, which cover computed jobs only.
+	CacheHits uint64 `json:"cache_hits"`
+	// Rounds and Messages total the LOCAL cost served so far.
+	Rounds   int64 `json:"rounds"`
+	Messages int64 `json:"messages"`
+	// LatencyP50/P99 are job-latency quantiles over a window of recent jobs.
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+}
+
+// Pool is the multi-tenant serving layer: one long-lived pool of worker
+// lanes multiplexing many concurrent coloring jobs, where each one-shot
+// ColorEdges call would spin up and tear down an engine of its own. Small
+// executions run whole on one lane; large ones are sharded across the lanes
+// round by round (or, on a single lane, run in bounded time slices), so a
+// huge graph cannot starve the queue. Repeated identical ColorEdges
+// requests are served from a bounded result cache with single-flight
+// deduplication. Results are bit-identical to the one-shot API on the
+// Sequential engine — cached ones included, since every algorithm is
+// deterministic.
+//
+// Jobs carry a context: cancelling it (or exceeding its deadline) aborts
+// the job's executions within about one round. A Pool is safe for
+// concurrent use; see NewPool, and Close when done.
+type Pool struct {
+	p     *serve.Pool
+	cache *poolCache // nil when disabled
+	hits  atomic.Uint64
+}
+
+// NewPool starts a serving pool. Close it when done.
+func NewPool(o PoolOptions) *Pool {
+	p := &Pool{p: serve.New(serve.Options{
+		Workers:    o.Workers,
+		QueueDepth: o.QueueDepth,
+		SmallJob:   o.SmallJob,
+	})}
+	size := o.CacheSize
+	if size == 0 {
+		size = 32
+	}
+	if size > 0 {
+		p.cache = newPoolCache(size)
+	}
+	return p
+}
+
+// ColorEdges mirrors the package-level ColorEdges on the pool's shared
+// lanes, with repeated identical requests served from the pool's result
+// cache (see PoolOptions.CacheSize). Options.Engine and Options.Shards are
+// ignored: the pool routes every protocol execution itself (see
+// PoolOptions.SmallJob).
+func (p *Pool) ColorEdges(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	if p.cache == nil {
+		return p.colorUniform(ctx, g, opts)
+	}
+	// Cache hits must still honor the after-Close contract: without this,
+	// a previously-seen request would succeed after Close.
+	if p.p.Closed() {
+		return nil, ErrPoolClosed
+	}
+	key := p.cache.key(g, opts)
+	var entry *cacheEntry
+	for entry == nil {
+		e, owner := p.cache.lookup(key)
+		if owner {
+			entry = e
+			continue
+		}
+		res, ok, err := e.wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			p.hits.Add(1)
+			return res, nil
+		}
+		// The owning computation failed and dropped its entry; re-elect —
+		// the next lookup makes one waiter the new owner and the rest wait
+		// on it, so a failed owner costs one retry, not a thundering herd
+		// of independent recomputations.
+	}
+	// The owner MUST complete its entry, or waiters block until their own
+	// deadlines and the key is poisoned forever. A panic in the computation
+	// (recovered by net/http in the daemon) must therefore drop the entry
+	// on its way up.
+	filled := false
+	defer func() {
+		if !filled {
+			p.cache.fill(entry, nil, errFlightAbandoned)
+		}
+	}()
+	res, err := p.colorUniform(ctx, g, opts)
+	filled = true
+	p.cache.fill(entry, res, err)
+	return res, err
+}
+
+// errFlightAbandoned marks a cache flight whose computation panicked; it
+// only ever reaches poolCache.fill (dropping the entry), never a caller.
+var errFlightAbandoned = errors.New("distec: cache flight abandoned")
+
+// colorUniform computes a uniform ColorEdges request on the pool.
+func (p *Pool) colorUniform(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	in, err := uniformInstance(g, opts.Palette)
+	if err != nil {
+		return nil, err
+	}
+	return p.color(ctx, g, in, opts)
+}
+
+// ColorEdgesList mirrors the package-level ColorEdgesList on the pool's
+// shared lanes.
+func (p *Pool) ColorEdgesList(ctx context.Context, g *Graph, lists [][]int, palette int, opts Options) (*Result, error) {
+	in, err := listInstance(g, lists, palette)
+	if err != nil {
+		return nil, err
+	}
+	return p.color(ctx, g, in, opts)
+}
+
+// ExtendColoring mirrors the package-level ExtendColoring on the pool's
+// shared lanes.
+func (p *Pool) ExtendColoring(ctx context.Context, g *Graph, partial []int, lists [][]int, palette int, opts Options) (*Result, error) {
+	in, err := extendInstance(g, partial, lists, palette)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.color(ctx, g, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	mergePartial(res, partial)
+	return res, nil
+}
+
+// color runs one coloring job on the pool.
+func (p *Pool) color(ctx context.Context, g *Graph, in *listcolor.Instance, opts Options) (*Result, error) {
+	var res *Result
+	err := p.p.Do(ctx, func(eng local.Engine) error {
+		var err error
+		res, err = colorOn(g, in, opts, eng)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stats returns a snapshot of the pool's metrics.
+func (p *Pool) Stats() PoolStats {
+	s := p.p.Stats()
+	return PoolStats{
+		Workers:        s.Workers,
+		QueueDepth:     s.QueueDepth,
+		Waiting:        s.Waiting,
+		Running:        s.Running,
+		Submitted:      s.Submitted,
+		Completed:      s.Completed,
+		Failed:         s.Failed,
+		Cancelled:      s.Cancelled,
+		SequentialRuns: s.SequentialRuns,
+		SlicedRuns:     s.SlicedRuns,
+		FanoutRuns:     s.FanoutRuns,
+		CacheHits:      p.hits.Load(),
+		Rounds:         s.Rounds,
+		Messages:       s.Messages,
+		LatencyP50:     s.LatencyP50,
+		LatencyP99:     s.LatencyP99,
+	}
+}
+
+// Close stops admission, waits for in-flight jobs, and stops the lanes.
+// Jobs submitted after Close fail with ErrPoolClosed. Idempotent.
+func (p *Pool) Close() { p.p.Close() }

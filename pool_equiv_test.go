@@ -1,0 +1,220 @@
+package distec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolEquivalence is the serving-layer counterpart of
+// TestEngineEquivalence: at least 32 simultaneous jobs — all five
+// algorithms, mixed sizes spanning every pool route, some cancelled mid-run
+// — through ONE shared pool, under the race detector in CI. Every job that
+// completes must verify and be bit-identical (colors, rounds, messages) to
+// a one-shot sequential rerun; every cancelled job must fail with its
+// context's error.
+func TestPoolEquivalence(t *testing.T) {
+	// SmallJob 300 forces the larger workloads onto the sharded routes
+	// (fanout with 4 lanes) while the small ones take the sequential lane.
+	// The cache is off so every job exercises a computation path (several
+	// jobs repeat a (graph, options) pair; the cache has its own tests).
+	pool := NewPool(PoolOptions{Workers: 4, QueueDepth: 48, SmallJob: 300, CacheSize: -1})
+	defer pool.Close()
+
+	algorithms := []Algorithm{BKO, BKOTheory, PR01, GreedyClasses, Randomized}
+	graphs := []*Graph{
+		Cycle(64),
+		RandomRegular(48, 6, 17),
+		CompleteBipartite(9, 7),
+		GNP(40, 0.12, 23),
+		RandomTree(50, 29),
+		RandomRegular(220, 8, 9), // 880 edge entities: above SmallJob
+	}
+
+	type jobSpec struct {
+		name        string
+		g           *Graph
+		alg         Algorithm
+		cancelAfter time.Duration // 0: run to completion
+	}
+	var jobs []jobSpec
+	for gi, g := range graphs {
+		for ai, alg := range algorithms {
+			j := jobSpec{name: fmt.Sprintf("g%d/%s", gi, alg), g: g, alg: alg}
+			if (gi+ai)%5 == 4 {
+				// A handful of jobs get cancelled mid-run (stagger the
+				// cancellation points across the batch).
+				j.cancelAfter = time.Duration(1+gi+ai) * time.Millisecond
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	// Two doomed jobs: an already-expired deadline and an instant cancel.
+	jobs = append(jobs,
+		jobSpec{name: "expired/bko", g: graphs[5], alg: BKO, cancelAfter: -1},
+		jobSpec{name: "instant/pr01", g: graphs[5], alg: PR01, cancelAfter: time.Nanosecond},
+	)
+	if len(jobs) < 32 {
+		t.Fatalf("only %d jobs, want ≥32", len(jobs))
+	}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	outcomes := make([]outcome, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j jobSpec) {
+			defer wg.Done()
+			ctx := context.Background()
+			switch {
+			case j.cancelAfter < 0:
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx, time.Now().Add(-time.Second))
+				defer cancel()
+			case j.cancelAfter > 0:
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, j.cancelAfter)
+				defer cancel()
+			}
+			res, err := pool.ColorEdges(ctx, j.g, Options{Algorithm: j.alg, Seed: 5})
+			outcomes[i] = outcome{res, err}
+		}(i, j)
+	}
+	wg.Wait()
+
+	completed, cancelled := 0, 0
+	for i, j := range jobs {
+		o := outcomes[i]
+		if o.err != nil {
+			if !errors.Is(o.err, context.Canceled) && !errors.Is(o.err, context.DeadlineExceeded) {
+				t.Fatalf("%s: unexpected error %v", j.name, o.err)
+			}
+			if j.cancelAfter == 0 {
+				t.Fatalf("%s: cancelled without a cancellation", j.name)
+			}
+			cancelled++
+			continue
+		}
+		completed++
+		if err := Verify(j.g, o.res.Colors); err != nil {
+			t.Fatalf("%s: invalid coloring: %v", j.name, err)
+		}
+		want, err := ColorEdges(j.g, Options{Algorithm: j.alg, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: sequential rerun: %v", j.name, err)
+		}
+		if o.res.Rounds != want.Rounds || o.res.Messages != want.Messages {
+			t.Fatalf("%s: stats %d/%d, want %d/%d", j.name, o.res.Rounds, o.res.Messages, want.Rounds, want.Messages)
+		}
+		for e := range want.Colors {
+			if o.res.Colors[e] != want.Colors[e] {
+				t.Fatalf("%s: edge %d colored %d, want %d", j.name, e, o.res.Colors[e], want.Colors[e])
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no job completed")
+	}
+	if cancelled == 0 {
+		t.Fatal("no job was cancelled — the cancellation path went untested")
+	}
+	s := pool.Stats()
+	if s.Submitted != uint64(len(jobs)) {
+		t.Fatalf("stats submitted = %d, want %d", s.Submitted, len(jobs))
+	}
+	if s.Completed != uint64(completed) || s.Cancelled != uint64(cancelled) || s.Failed != 0 {
+		t.Fatalf("stats %+v disagree with completed=%d cancelled=%d", s, completed, cancelled)
+	}
+	if s.SequentialRuns == 0 || s.FanoutRuns == 0 {
+		t.Fatalf("both routes should have been exercised: %+v", s)
+	}
+}
+
+// TestPoolListAndExtend runs the list and extension mirrors through the
+// pool and checks bit-identical agreement with the one-shot API.
+func TestPoolListAndExtend(t *testing.T) {
+	pool := NewPool(PoolOptions{Workers: 2})
+	defer pool.Close()
+	ctx := context.Background()
+
+	g := RandomRegular(36, 5, 41)
+	dbar := g.MaxEdgeDegree()
+	c := dbar + 3
+	lists := make([][]int, g.M())
+	for e := range lists {
+		lists[e] = make([]int, 0, dbar+1)
+		for k := 0; k <= dbar; k++ {
+			lists[e] = append(lists[e], (e+k)%c)
+		}
+		sort.Ints(lists[e])
+	}
+	want, err := ColorEdgesList(g, lists, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.ColorEdgesList(ctx, g, lists, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds || got.Messages != want.Messages {
+		t.Fatalf("list stats %d/%d, want %d/%d", got.Rounds, got.Messages, want.Rounds, want.Messages)
+	}
+	for e := range want.Colors {
+		if got.Colors[e] != want.Colors[e] {
+			t.Fatalf("list edge %d: %d, want %d", e, got.Colors[e], want.Colors[e])
+		}
+	}
+
+	// Extension: fix half the coloring, complete the rest on the pool.
+	palette := 2*g.MaxDegree() - 1
+	full := make([]int, g.M())
+	fullRes, err := ColorEdges(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(full, fullRes.Colors)
+	partial := make([]int, g.M())
+	uni := make([]int, palette)
+	for i := range uni {
+		uni[i] = i
+	}
+	unilists := make([][]int, g.M())
+	for e := range partial {
+		unilists[e] = uni
+		partial[e] = full[e]
+		if e%2 == 0 {
+			partial[e] = -1
+		}
+	}
+	wantExt, err := ExtendColoring(g, partial, unilists, palette, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotExt, err := pool.ExtendColoring(ctx, g, partial, unilists, palette, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, gotExt.Colors); err != nil {
+		t.Fatal(err)
+	}
+	for e := range wantExt.Colors {
+		if gotExt.Colors[e] != wantExt.Colors[e] {
+			t.Fatalf("extend edge %d: %d, want %d", e, gotExt.Colors[e], wantExt.Colors[e])
+		}
+	}
+
+	// Invalid input surfaces as an error, not a hang.
+	if _, err := pool.ColorEdgesList(ctx, g, lists[:1], c, Options{}); err == nil {
+		t.Fatal("accepted truncated lists")
+	}
+	if s := pool.Stats(); s.Completed == 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
