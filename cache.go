@@ -49,8 +49,20 @@ func newPoolCache(capacity int) *poolCache {
 	}
 }
 
-// key fingerprints a uniform ColorEdges request.
+// key fingerprints a uniform ColorEdges request. Equivalent requests must
+// map to the same key, or epochal recoloring traffic misses the cache: the
+// palette is resolved to its effective value (0 and an explicit 2Δ−1 are
+// the same request), the seed is dropped for every algorithm but Randomized
+// (the only one that reads it), and the defaulted algorithm name is
+// resolved to BKO.
 func (c *poolCache) key(g *Graph, opts Options) uint64 {
+	opts.Palette = effectivePalette(g, opts.Palette)
+	if opts.Algorithm == "" {
+		opts.Algorithm = BKO
+	}
+	if opts.Algorithm != Randomized {
+		opts.Seed = 0
+	}
 	var h maphash.Hash
 	h.SetSeed(c.seed)
 	buf := make([]byte, 0, 1<<12)

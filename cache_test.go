@@ -91,6 +91,58 @@ func TestPoolCacheKeys(t *testing.T) {
 	}
 }
 
+// TestPoolCacheKeyNormalization is the regression test for equivalent
+// requests hashing to different keys: a defaulted palette vs. an explicit
+// 2Δ−1, a seed on a deterministic algorithm, and a defaulted algorithm name
+// are all the same computation and must hit.
+func TestPoolCacheKeyNormalization(t *testing.T) {
+	pool := NewPool(PoolOptions{Workers: 1})
+	defer pool.Close()
+	ctx := context.Background()
+	g := RandomRegular(48, 6, 17)
+
+	base, err := pool.ColorEdges(ctx, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalents := []Options{
+		{Palette: 2*g.MaxDegree() - 1}, // explicit default palette
+		{Algorithm: BKO},               // explicit default algorithm
+		{Seed: 42},                     // seed is ignored by BKO
+		{Algorithm: BKO, Palette: 2*g.MaxDegree() - 1, Seed: 7},
+	}
+	for i, opts := range equivalents {
+		res, err := pool.ColorEdges(ctx, g, opts)
+		if err != nil {
+			t.Fatalf("equivalent %d: %v", i, err)
+		}
+		for e := range base.Colors {
+			if res.Colors[e] != base.Colors[e] {
+				t.Fatalf("equivalent %d: edge %d colored %d, want %d", i, e, res.Colors[e], base.Colors[e])
+			}
+		}
+	}
+	s := pool.Stats()
+	if s.CacheHits != uint64(len(equivalents)) {
+		t.Fatalf("cache hits = %d, want %d (equivalent requests must hit)", s.CacheHits, len(equivalents))
+	}
+	if s.Submitted != 1 {
+		t.Fatalf("submitted = %d, want 1", s.Submitted)
+	}
+
+	// Distinctions that matter must keep missing: a different Randomized
+	// seed is a different computation.
+	if _, err := pool.ColorEdges(ctx, g, Options{Algorithm: Randomized, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.ColorEdges(ctx, g, Options{Algorithm: Randomized, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.CacheHits != uint64(len(equivalents)) {
+		t.Fatalf("randomized seeds collided: hits = %d, want %d", s.CacheHits, len(equivalents))
+	}
+}
+
 func TestPoolCacheDisabledAndEviction(t *testing.T) {
 	// Disabled: repeats recompute.
 	pool := NewPool(PoolOptions{Workers: 1, CacheSize: -1})

@@ -6,16 +6,27 @@
 //
 //	edgecolord -addr :8405 -workers 0 -queue 0 -cache 32
 //
-//	POST /v1/color   color a graph (JSON; see colorRequest)
-//	GET  /v1/stats   pool metrics + daemon counters
-//	GET  /healthz    liveness
+//	POST   /v1/color                color a graph (JSON; see colorRequest)
+//	POST   /v1/session              create a dynamic session (color + maintain)
+//	GET    /v1/session/{id}         session coloring + stats
+//	POST   /v1/session/{id}/update  apply a batch of edge inserts/deletes
+//	DELETE /v1/session/{id}         drop a session
+//	GET    /v1/stats                pool metrics + daemon counters
+//	GET    /healthz                 liveness
 //
-// One coloring per POST: the graph as an edge list, optionally an
+// One coloring per POST /v1/color: the graph as an edge list, optionally an
 // algorithm, palette, seed, per-edge lists (list coloring), and a partial
 // coloring (extension). Every response is verified server-side before it is
 // returned. Example:
 //
 //	curl -s localhost:8405/v1/color -d '{"graph":{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}'
+//
+// A dynamic session keeps a live network's coloring server-side and repairs
+// it incrementally under edge updates (distec.NewDynamic over the shared
+// pool), so a small update never recolors the whole graph:
+//
+//	curl -s localhost:8405/v1/session -d '{"graph":{"n":4,"edges":[[0,1],[1,2]]}}'
+//	curl -s localhost:8405/v1/session/<id>/update -d '{"updates":[{"op":"insert","u":2,"v":3}]}'
 //
 // Drive (client mode): replay a synthetic request mix against a daemon at a
 // fixed rate and report throughput and latency quantiles:
@@ -26,6 +37,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -90,10 +103,15 @@ func main() {
 		// Slow-client bounds: a stalled or trickling connection must not
 		// pin a handler goroutine (and up to maxBodyBytes of buffer)
 		// forever. Reads are generous because bodies can carry 10⁶-edge
-		// graphs; writes cover the job bound (60 s default) plus transfer.
+		// graphs. The write deadline here only bounds the job phase; once a
+		// result is in hand, the handler extends the deadline per-request
+		// (see server.respond) so a job that legitimately used its full
+		// 5-minute budget still gets the response-transfer budget on top —
+		// with a shared deadline, exactly those responses were computed and
+		// then lost on a connection that could no longer write.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
-		WriteTimeout:      5 * time.Minute,
+		WriteTimeout:      maxJobTimeout + 30*time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	drained := make(chan struct{})
@@ -144,6 +162,27 @@ const maxPalette = 1 << 23
 // admission slots for as long as their connections stay open.
 const maxJobTimeout = 5 * time.Minute
 
+// responseWriteBudget is the per-request write budget granted once a result
+// is ready: the job phase is bounded by maxJobTimeout separately, so the
+// response transfer gets its own window instead of whatever the job left
+// of the connection's shared WriteTimeout.
+const responseWriteBudget = 2 * time.Minute
+
+// maxSessions bounds the number of live dynamic sessions: each pins a graph
+// and its coloring in memory for as long as the client keeps it.
+const maxSessions = 64
+
+// maxUpdatesPerBatch bounds one session update batch; longer streams are
+// split by the client into multiple requests, each with its own timeout.
+const maxUpdatesPerBatch = 100000
+
+// maxSessionEdges bounds a session's cumulative graph size, tombstones
+// included: the underlying graph is append-only, so without this cap a
+// single session could grow the daemon's memory without limit through
+// insert batches (every insert appends permanently; deletes only
+// tombstone).
+const maxSessionEdges = 1 << 22
+
 // colorRequest is the body of POST /v1/color.
 type colorRequest struct {
 	Graph graphSpec `json:"graph"`
@@ -190,36 +229,103 @@ type statsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	HTTPRequests  uint64  `json:"http_requests"`
 	HTTPErrors    uint64  `json:"http_errors"`
+	Sessions      int     `json:"sessions"`
 }
 
-// server is the daemon's HTTP state: the shared pool plus request counters.
+// sessionRequest is the body of POST /v1/session: the graph to keep live,
+// with the same knobs as colorRequest minus lists/partial (sessions maintain
+// uniform-palette colorings).
+type sessionRequest struct {
+	Graph     graphSpec `json:"graph"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	Palette   int       `json:"palette,omitempty"`
+	Seed      uint64    `json:"seed,omitempty"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+}
+
+// sessionResponse is the body of session create/get responses.
+type sessionResponse struct {
+	SessionID  string              `json:"session_id"`
+	Colors     []int               `json:"colors"`
+	Palette    int                 `json:"palette"`
+	Stats      distec.DynamicStats `json:"stats"`
+	Verified   bool                `json:"verified"`
+	DurationMS float64             `json:"duration_ms"`
+}
+
+// updateRequest is the body of POST /v1/session/{id}/update: an ordered
+// batch of edge updates applied as one job on the pool's shared lanes.
+type updateRequest struct {
+	Updates   []distec.Update `json:"updates"`
+	TimeoutMS int             `json:"timeout_ms,omitempty"`
+}
+
+// updateResponse reports one applied batch. Results holds one entry per
+// applied update, in order (on error, the applied prefix's length arrives
+// in the error body instead).
+type updateResponse struct {
+	Results    []distec.UpdateResult `json:"results"`
+	Stats      distec.DynamicStats   `json:"stats"`
+	Verified   bool                  `json:"verified"`
+	DurationMS float64               `json:"duration_ms"`
+}
+
+// server is the daemon's HTTP state: the shared pool, request counters, and
+// the dynamic-session registry.
 type server struct {
 	pool     *distec.Pool
 	start    time.Time
 	requests atomic.Uint64
 	errors   atomic.Uint64
+
+	mux http.Handler
+
+	sessMu   sync.Mutex
+	sessions map[string]*distec.Dynamic
+
+	// afterJob, when non-nil, runs after a handler's compute phase and
+	// before its response is written — a test seam standing in for a job
+	// that consumed the connection's whole write window.
+	afterJob func()
 }
 
-// newServer returns the daemon's handler over a shared pool (separated from
-// main for tests).
-func newServer(pool *distec.Pool) http.Handler {
-	s := &server{pool: pool, start: time.Now()}
+// newDaemon builds the daemon state over a shared pool (separated from main
+// for tests that need the *server).
+func newDaemon(pool *distec.Pool) *server {
+	s := &server{pool: pool, start: time.Now(), sessions: make(map[string]*distec.Dynamic)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/color", s.handleColor)
-	return mux
+	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /v1/session/{id}/update", s.handleSessionUpdate)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux = mux
+	return s
+}
+
+// newServer returns the daemon's handler over a shared pool.
+func newServer(pool *distec.Pool) http.Handler {
+	return newDaemon(pool).mux
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	s.respond(w, http.StatusOK, statsResponse{
 		PoolStats:     s.pool.Stats(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		HTTPRequests:  s.requests.Load(),
 		HTTPErrors:    s.errors.Load(),
+		Sessions:      s.sessionCount(),
 	})
+}
+
+func (s *server) sessionCount() int {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return len(s.sessions)
 }
 
 func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
@@ -229,14 +335,7 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req colorRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.fail(w, http.StatusRequestEntityTooLarge, err)
-			return
-		}
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	g, err := buildGraph(req.Graph)
@@ -248,14 +347,7 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("palette %d exceeds the daemon's limit of %d", req.Palette, maxPalette))
 		return
 	}
-	timeout := 60 * time.Second
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > maxJobTimeout {
-			timeout = maxJobTimeout
-		}
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), jobTimeout(req.TimeoutMS))
 	defer cancel()
 
 	opts := distec.Options{Algorithm: distec.Algorithm(req.Algorithm), Palette: req.Palette, Seed: req.Seed}
@@ -277,22 +369,15 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 	default:
 		res, err = s.pool.ColorEdges(ctx, g, opts)
 	}
+	if s.afterJob != nil {
+		s.afterJob()
+	}
 	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			s.fail(w, http.StatusGatewayTimeout, err)
-		case errors.Is(err, context.Canceled):
-			s.fail(w, 499, err) // client closed request
-		case errors.Is(err, distec.ErrPoolClosed):
-			s.fail(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, distec.ErrProtocolPanic), errors.Is(err, distec.ErrRoundLimit):
-			// Server-side defects (a panicking protocol, a diverging run),
-			// not properties of the request: report as internal errors so
-			// monitoring and retry policies classify them correctly.
-			s.fail(w, http.StatusInternalServerError, err)
-		default:
-			s.fail(w, http.StatusBadRequest, err)
-		}
+		// Timeouts/cancellation map to 504/499; server-side defects (a
+		// panicking protocol, a diverging run) to 500 so monitoring and
+		// retry policies classify them correctly; the rest are properties
+		// of the request.
+		s.failJob(w, err)
 		return
 	}
 	// Never hand out an unverified coloring: the check is O(m + messages
@@ -314,7 +399,7 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, fmt.Errorf("OUTPUT INVALID: %w", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, colorResponse{
+	s.respond(w, http.StatusOK, colorResponse{
 		Colors:     res.Colors,
 		Rounds:     res.Rounds,
 		Messages:   res.Messages,
@@ -325,9 +410,248 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSessionCreate colors the posted graph on the pool and registers a
+// dynamic session maintaining that coloring under updates.
+func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.sessionCount() >= maxSessions {
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("session limit %d reached", maxSessions))
+		return
+	}
+	var req sessionRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	g, err := buildGraph(req.Graph)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if g.M() > maxSessionEdges {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("graph of %d edges exceeds the daemon's session limit of %d", g.M(), maxSessionEdges))
+		return
+	}
+	if req.Palette > maxPalette {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("palette %d exceeds the daemon's limit of %d", req.Palette, maxPalette))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), jobTimeout(req.TimeoutMS))
+	defer cancel()
+
+	opts := distec.Options{Algorithm: distec.Algorithm(req.Algorithm), Palette: req.Palette, Seed: req.Seed}
+	start := time.Now()
+	res, err := s.pool.ColorEdges(ctx, g, opts)
+	if s.afterJob != nil {
+		s.afterJob()
+	}
+	if err != nil {
+		s.failJob(w, err)
+		return
+	}
+	if err := distec.Verify(g, res.Colors); err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("OUTPUT INVALID: %w", err))
+		return
+	}
+	d, err := distec.NewDynamicFrom(g, res.Colors, distec.DynamicOptions{Options: opts, Pool: s.pool})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := newSessionID()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.sessMu.Lock()
+	// Re-check under the lock: concurrent creates may have raced past the
+	// early bound.
+	if len(s.sessions) >= maxSessions {
+		s.sessMu.Unlock()
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("session limit %d reached", maxSessions))
+		return
+	}
+	s.sessions[id] = d
+	s.sessMu.Unlock()
+	s.respond(w, http.StatusOK, sessionResponse{
+		SessionID:  id,
+		Colors:     d.Colors(),
+		Palette:    d.Palette(),
+		Stats:      d.Stats(),
+		Verified:   true,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// handleSessionUpdate applies one update batch to a session as a job on the
+// pool's shared lanes, verifying the maintained coloring before responding.
+func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	d, ok := s.session(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, errors.New("no such session"))
+		return
+	}
+	var req updateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Updates) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty update batch"))
+		return
+	}
+	if len(req.Updates) > maxUpdatesPerBatch {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d updates exceeds the daemon's limit of %d", len(req.Updates), maxUpdatesPerBatch))
+		return
+	}
+	if d.Edges()+len(req.Updates) > maxSessionEdges {
+		s.fail(w, http.StatusConflict, fmt.Errorf("session graph at %d edges (tombstones included) would exceed the daemon's limit of %d; recreate the session to compact it", d.Edges(), maxSessionEdges))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), jobTimeout(req.TimeoutMS))
+	defer cancel()
+
+	start := time.Now()
+	results, err := d.ApplyBatch(ctx, req.Updates)
+	if s.afterJob != nil {
+		s.afterJob()
+	}
+	if err != nil {
+		// The applied prefix holds (the coloring reflects exactly it); tell
+		// the client how far the batch got.
+		err = fmt.Errorf("applied %d/%d updates: %w", len(results), len(req.Updates), err)
+		if errors.Is(err, distec.ErrPaletteExhausted) {
+			s.fail(w, http.StatusConflict, err)
+			return
+		}
+		s.failJob(w, err)
+		return
+	}
+	// Never report an unverified maintained coloring: the incremental
+	// repair machinery is re-checked against the full graph on every batch.
+	if err := d.Verify(); err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("OUTPUT INVALID: %w", err))
+		return
+	}
+	s.respond(w, http.StatusOK, updateResponse{
+		Results:    results,
+		Stats:      d.Stats(),
+		Verified:   true,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// handleSessionGet reports a session's current coloring and stats.
+func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	d, ok := s.session(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, errors.New("no such session"))
+		return
+	}
+	if err := d.Verify(); err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("OUTPUT INVALID: %w", err))
+		return
+	}
+	s.respond(w, http.StatusOK, sessionResponse{
+		SessionID: r.PathValue("id"),
+		Colors:    d.Colors(),
+		Palette:   d.Palette(),
+		Stats:     d.Stats(),
+		Verified:  true,
+	})
+}
+
+// handleSessionDelete drops a session.
+func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	id := r.PathValue("id")
+	s.sessMu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.sessMu.Unlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, errors.New("no such session"))
+		return
+	}
+	s.respond(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+// decodeBody reads one size-bounded JSON request body into req, writing the
+// error response (413 for oversized bodies, 400 otherwise) itself; a false
+// return means the handler is done.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, req any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, err)
+			return false
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *server) session(id string) (*distec.Dynamic, bool) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	d, ok := s.sessions[id]
+	return d, ok
+}
+
+// failJob maps job errors to HTTP statuses, shared by the color and session
+// handlers.
+func (s *server) failJob(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		s.fail(w, 499, err) // client closed request
+	case errors.Is(err, distec.ErrPoolClosed):
+		s.fail(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, distec.ErrProtocolPanic), errors.Is(err, distec.ErrRoundLimit):
+		s.fail(w, http.StatusInternalServerError, err)
+	default:
+		s.fail(w, http.StatusBadRequest, err)
+	}
+}
+
+// jobTimeout resolves a client timeout_ms to the job deadline, clamped to
+// the server ceiling.
+func jobTimeout(ms int) time.Duration {
+	timeout := 60 * time.Second
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > maxJobTimeout {
+			timeout = maxJobTimeout
+		}
+	}
+	return timeout
+}
+
+// newSessionID returns an unguessable session handle.
+func newSessionID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
 func (s *server) fail(w http.ResponseWriter, status int, err error) {
 	s.errors.Add(1)
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	s.respond(w, status, map[string]string{"error": err.Error()})
+}
+
+// respond writes one JSON response, first extending the connection's write
+// deadline: the server's WriteTimeout clock starts when the request header
+// is read, so a job that legitimately used its full budget would otherwise
+// compute a result the connection can no longer write. Extension is best
+// effort — test recorders don't support deadlines.
+func (s *server) respond(w http.ResponseWriter, status int, v any) {
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(responseWriteBudget))
+	writeJSON(w, status, v)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

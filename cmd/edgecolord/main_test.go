@@ -198,6 +198,207 @@ func TestColorTimeout(t *testing.T) {
 	}
 }
 
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestSessionLifecycle drives a dynamic session end to end: create, update
+// with inserts and deletes, read back, delete, and require a verified
+// proper coloring at every step.
+func TestSessionLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := distec.RandomRegular(32, 4, 5)
+
+	resp, body := postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(g)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.SessionID == "" || !sr.Verified {
+		t.Fatalf("create response: %+v", sr)
+	}
+	if err := distec.Verify(g, sr.Colors); err != nil {
+		t.Fatalf("initial coloring invalid: %v", err)
+	}
+
+	// A batch mixing an insert of a fresh edge and a delete of edge 0.
+	u0, v0 := g.Endpoints(0)
+	var iu, iv int
+	for u := 0; u < g.N() && iu == iv; u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if _, ok := g.HasEdge(u, v); !ok {
+				iu, iv = u, v
+				break
+			}
+		}
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/session/"+sr.SessionID+"/update", updateRequest{
+		Updates: []distec.Update{
+			{Op: distec.InsertEdge, U: iu, V: iv},
+			{Op: distec.DeleteEdge, U: u0, V: v0},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: status %d: %s", resp.StatusCode, body)
+	}
+	var ur updateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if !ur.Verified || len(ur.Results) != 2 {
+		t.Fatalf("update response: %+v", ur)
+	}
+	if ur.Results[0].Color < 0 || ur.Results[1].Color != -1 {
+		t.Fatalf("update results: %+v", ur.Results)
+	}
+	if ur.Stats.Inserts != 1 || ur.Stats.Deletes != 1 {
+		t.Fatalf("session stats: %+v", ur.Stats)
+	}
+
+	// Read back: the deleted edge is tombstoned, the inserted one colored.
+	resp, body = func() (*http.Response, []byte) {
+		r, err := http.Get(ts.URL + "/v1/session/" + sr.SessionID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		return r, buf.Bytes()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Colors[0] != -1 {
+		t.Fatalf("deleted edge still colored %d", sr.Colors[0])
+	}
+
+	// Delete the session; further use must 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+sr.SessionID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/session/"+sr.SessionID+"/update", updateRequest{
+		Updates: []distec.Update{{Op: distec.InsertEdge, U: 0, V: 1}},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("update after delete: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestSessionBadRequests pins validation on the session surface.
+func TestSessionBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphSpec{N: 2, Edges: [][2]int{{0, 5}}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad graph: status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/session/nope/update", updateRequest{
+		Updates: []distec.Update{{Op: distec.InsertEdge, U: 0, V: 1}},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", resp.StatusCode)
+	}
+	// Create a real session, then exercise update validation on it.
+	resp, body = postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(distec.Cycle(8))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		req  updateRequest
+		want int
+	}{
+		{"empty batch", updateRequest{}, http.StatusBadRequest},
+		{"unknown op", updateRequest{Updates: []distec.Update{{Op: "warp", U: 0, V: 1}}}, http.StatusBadRequest},
+		{"duplicate insert", updateRequest{Updates: []distec.Update{{Op: distec.InsertEdge, U: 0, V: 1}}}, http.StatusBadRequest},
+		{"delete non-edge", updateRequest{Updates: []distec.Update{{Op: distec.DeleteEdge, U: 0, V: 4}}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/session/"+sr.SessionID+"/update", tc.req)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
+			}
+		})
+	}
+}
+
+// TestSessionLimit pins the registry bound.
+func TestSessionLimit(t *testing.T) {
+	pool := distec.NewPool(distec.PoolOptions{Workers: 1})
+	defer pool.Close()
+	d := newDaemon(pool)
+	ts := httptest.NewServer(d.mux)
+	defer ts.Close()
+	// Fill the registry directly (creating maxSessions real colorings is
+	// needless work); the daemon must refuse the next create.
+	d.sessMu.Lock()
+	for i := 0; i < maxSessions; i++ {
+		d.sessions[string(rune('a'+i%26))+string(rune('0'+i/26))] = nil
+	}
+	d.sessMu.Unlock()
+	resp, body := postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(distec.Cycle(4))})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+}
+
+// TestWriteDeadlineExtension is the regression test for the write-timeout
+// bug: a job that consumes more than the server's WriteTimeout used to
+// compute a result the connection could no longer write. The handler now
+// extends the write deadline per-request once the result is in hand, so a
+// response must still arrive when the job outlives WriteTimeout.
+func TestWriteDeadlineExtension(t *testing.T) {
+	pool := distec.NewPool(distec.PoolOptions{Workers: 1})
+	defer pool.Close()
+	d := newDaemon(pool)
+	d.afterJob = func() { time.Sleep(600 * time.Millisecond) } // the "slow job"
+	ts := httptest.NewUnstartedServer(d.mux)
+	ts.Config.WriteTimeout = 250 * time.Millisecond // job outlives the write window
+	ts.Start()
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/color", colorRequest{Graph: graphToSpec(distec.Cycle(6))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr colorResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatalf("response unreadable after slow job: %v (%q)", err, body)
+	}
+	if !cr.Verified {
+		t.Fatal("response not verified")
+	}
+}
+
 func TestParseMix(t *testing.T) {
 	classes, err := parseMix("small=2,large=1")
 	if err != nil {

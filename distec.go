@@ -176,11 +176,22 @@ func ColorEdgesList(g *Graph, lists [][]int, palette int, opts Options) (*Result
 // the edge's uncolored conflict degree, which holds in particular whenever
 // |lists[e]| > deg(e) and the partial coloring is proper.
 func ExtendColoring(g *Graph, partial []int, lists [][]int, palette int, opts Options) (*Result, error) {
+	run, err := opts.engine()
+	if err != nil {
+		return nil, err
+	}
+	return extendOn(g, partial, lists, palette, opts, run)
+}
+
+// extendOn is ExtendColoring on an explicit engine — the seam shared by the
+// one-shot API and the dynamic-coloring repair path, whose pool-backed
+// sessions hand in a job-bound engine over the shared worker lanes.
+func extendOn(g *Graph, partial []int, lists [][]int, palette int, opts Options, run local.Engine) (*Result, error) {
 	in, err := extendInstance(g, partial, lists, palette)
 	if err != nil {
 		return nil, err
 	}
-	res, err := colorInstance(g, in, opts)
+	res, err := colorOn(g, in, opts, run)
 	if err != nil {
 		return nil, err
 	}
@@ -188,16 +199,25 @@ func ExtendColoring(g *Graph, partial []int, lists [][]int, palette int, opts Op
 	return res, nil
 }
 
+// effectivePalette resolves the ColorEdges palette default: 0 selects 2Δ−1
+// (at least 1). Shared by uniformInstance and the pool result cache, whose
+// keys must not distinguish a defaulted palette from the same value named
+// explicitly.
+func effectivePalette(g *Graph, palette int) int {
+	if palette != 0 {
+		return palette
+	}
+	c := 2*g.MaxDegree() - 1
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // uniformInstance builds the full-palette instance of ColorEdges (palette 0
 // selects 2Δ−1).
 func uniformInstance(g *Graph, palette int) (*listcolor.Instance, error) {
-	c := palette
-	if c == 0 {
-		c = 2*g.MaxDegree() - 1
-		if c < 1 {
-			c = 1
-		}
-	}
+	c := effectivePalette(g, palette)
 	if dbar := g.MaxEdgeDegree(); c <= dbar {
 		return nil, fmt.Errorf("distec: palette %d not greater than Δ̄=%d", c, dbar)
 	}

@@ -1,0 +1,269 @@
+package distec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/distec/distec/internal/dynamic"
+	"github.com/distec/distec/internal/graph"
+	"github.com/distec/distec/internal/local"
+)
+
+// ErrPaletteExhausted marks dynamic inserts rejected because the session's
+// fixed palette cannot accommodate the new edge's conflict region for any
+// repair target (via errors.Is). The maintained coloring is unchanged.
+var ErrPaletteExhausted = dynamic.ErrPaletteExhausted
+
+// DynamicStats counts a dynamic session's update traffic; see NewDynamic.
+type DynamicStats = dynamic.Stats
+
+// UpdateOp selects the kind of one edge update.
+type UpdateOp string
+
+const (
+	// InsertEdge adds the active edge {U, V} and colors it.
+	InsertEdge UpdateOp = "insert"
+	// DeleteEdge removes the active edge {U, V} and frees its color.
+	DeleteEdge UpdateOp = "delete"
+)
+
+// Update is one edge update of a batch stream.
+type Update struct {
+	Op UpdateOp `json:"op"`
+	U  int      `json:"u"`
+	V  int      `json:"v"`
+}
+
+// UpdateResult reports one applied update: the edge's ID, its color after
+// the update (−1 for deletes), and whether the insert needed a conflict-
+// region repair rather than a free palette color.
+type UpdateResult struct {
+	Edge     EdgeID `json:"edge"`
+	Color    int    `json:"color"`
+	Repaired bool   `json:"repaired"`
+}
+
+// DynamicOptions configures NewDynamic.
+type DynamicOptions struct {
+	// Options selects the algorithm (and, for one-shot sessions, the
+	// engine) used for the initial coloring and for every conflict-region
+	// repair. Options.Palette fixes the session palette: repairs keep every
+	// color below it and infeasible inserts fail with ErrPaletteExhausted.
+	// Palette 0 selects the auto palette (2Δ−1, grown as inserts raise Δ),
+	// under which every insert is served greedily.
+	Options
+	// Pool, when set, runs the initial coloring and every update batch as
+	// jobs on the pool's shared worker lanes: a session's repairs
+	// interleave with other tenants' jobs round by round, and batch
+	// contexts carry cancellation and deadlines into the repair solvers.
+	// Options.Engine and Options.Shards are ignored in pool mode (the pool
+	// routes executions itself).
+	Pool *Pool
+}
+
+// Dynamic maintains a proper edge coloring of a graph across edge inserts
+// and deletes with locality-bounded repair — the paper's motivating use of
+// (deg(e)+1)-list edge coloring as the tool for extending a partial
+// coloring, applied incrementally. Deletes free their color; inserts take a
+// free palette color when one exists at both endpoints and otherwise
+// recolor only the edges inside the conflict region, by running the
+// configured algorithm as an ExtendColoring over the induced subinstance
+// (see internal/dynamic for the exact repair contract).
+//
+// A Dynamic is safe for concurrent use; updates are serialized in arrival
+// order. Create with NewDynamic.
+type Dynamic struct {
+	mu   sync.Mutex
+	c    *dynamic.Coloring
+	opts Options
+	pool *Pool
+	// engine is the one-shot repair engine (nil in pool mode); cur/curCtx
+	// bind repairs to the engine and context of the batch being applied.
+	engine local.Engine
+	cur    local.Engine
+	curCtx context.Context
+}
+
+// NewDynamic computes an initial coloring of g and wraps it for incremental
+// maintenance under edge updates. The graph is owned by the session
+// afterwards: it must not be mutated or colored elsewhere while the session
+// lives.
+func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
+	var (
+		res *Result
+		err error
+	)
+	if opts.Pool != nil {
+		res, err = opts.Pool.ColorEdges(context.Background(), g, opts.Options)
+	} else {
+		res, err = ColorEdges(g, opts.Options)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distec: dynamic initial coloring: %w", err)
+	}
+	return NewDynamicFrom(g, res.Colors, opts)
+}
+
+// NewDynamicFrom wraps an existing proper coloring of g — computed earlier,
+// loaded from storage, or colored under a caller-bounded context — for
+// incremental maintenance. colors must properly color every edge of g and,
+// under a fixed Options.Palette, stay below it; it is validated once and
+// copied.
+func NewDynamicFrom(g *Graph, colors []int, opts DynamicOptions) (*Dynamic, error) {
+	d := &Dynamic{opts: opts.Options, pool: opts.Pool}
+	var err error
+	if d.pool == nil {
+		d.engine, err = opts.Options.engine()
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.c, err = dynamic.New(g, colors, dynamic.Options{
+		Palette: opts.Palette,
+		Repair:  d.repairSubinstance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// repairSubinstance is the session's dynamic.Repairer: solve one conflict-
+// region subinstance with the session's algorithm on the engine of the
+// batch being applied. Called with d.mu held (updates are serialized).
+func (d *Dynamic) repairSubinstance(sub *graph.Graph, partial []int, lists [][]int, palette int) ([]int, error) {
+	if err := d.curCtx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := extendOn(sub, partial, lists, palette, d.opts, d.cur)
+	if err != nil {
+		return nil, err
+	}
+	return res.Colors, nil
+}
+
+// Insert adds the active edge {u, v} and colors it, returning its EdgeID
+// and color. See ApplyBatch for the update semantics.
+func (d *Dynamic) Insert(u, v int) (EdgeID, int, error) {
+	rs, err := d.ApplyBatch(context.Background(), []Update{{Op: InsertEdge, U: u, V: v}})
+	if err != nil {
+		return -1, -1, err
+	}
+	return rs[0].Edge, rs[0].Color, nil
+}
+
+// Delete removes the active edge {u, v} and frees its color.
+func (d *Dynamic) Delete(u, v int) error {
+	_, err := d.ApplyBatch(context.Background(), []Update{{Op: DeleteEdge, U: u, V: v}})
+	return err
+}
+
+// ApplyBatch applies a stream of updates in order, maintaining a proper
+// coloring after every one, and reports each update's outcome. It stops at
+// the first failing update, returning the results of the applied prefix
+// alongside the error — the coloring reflects exactly that prefix.
+//
+// On a pool-backed session the whole batch runs as one job on the pool's
+// shared lanes (admission control, metrics, and ctx cancellation included);
+// one-shot sessions run it inline on the session engine. ctx bounds the
+// batch either way.
+func (d *Dynamic) ApplyBatch(ctx context.Context, updates []Update) ([]UpdateResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pool == nil {
+		return d.applyLocked(ctx, d.engine, updates)
+	}
+	var (
+		results []UpdateResult
+		apErr   error
+	)
+	err := d.pool.p.Do(ctx, func(eng local.Engine) error {
+		results, apErr = d.applyLocked(ctx, eng, updates)
+		return apErr
+	})
+	if err != nil && apErr == nil {
+		// Admission-level failure (pool closed, ctx done before a slot freed):
+		// nothing was applied.
+		return nil, err
+	}
+	return results, apErr
+}
+
+// applyLocked applies the batch with repairs bound to the given engine and
+// context. Caller holds d.mu.
+func (d *Dynamic) applyLocked(ctx context.Context, eng local.Engine, updates []Update) ([]UpdateResult, error) {
+	d.cur, d.curCtx = eng, ctx
+	defer func() { d.cur, d.curCtx = nil, nil }()
+	results := make([]UpdateResult, 0, len(updates))
+	for i, up := range updates {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+		switch up.Op {
+		case InsertEdge:
+			before := d.c.Repairs()
+			id, col, err := d.c.Insert(up.U, up.V)
+			if err != nil {
+				return results, fmt.Errorf("update %d: %w", i, err)
+			}
+			results = append(results, UpdateResult{Edge: id, Color: col, Repaired: d.c.Repairs() > before})
+		case DeleteEdge:
+			id, _ := d.c.Graph().HasEdge(up.U, up.V)
+			if err := d.c.Delete(up.U, up.V); err != nil {
+				return results, fmt.Errorf("update %d: %w", i, err)
+			}
+			results = append(results, UpdateResult{Edge: id, Color: -1})
+		default:
+			return results, fmt.Errorf("update %d: unknown op %q", i, up.Op)
+		}
+	}
+	return results, nil
+}
+
+// Colors returns a fresh copy of the maintained coloring by EdgeID, −1 for
+// deleted (tombstoned) edges.
+func (d *Dynamic) Colors() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.c.Colors()
+}
+
+// Color returns edge e's current color, −1 if deleted.
+func (d *Dynamic) Color(e EdgeID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.c.Color(e)
+}
+
+// Edges returns the total number of edges the session's graph holds,
+// tombstoned (deleted) edges included — the session's memory footprint is
+// proportional to it, since the underlying graph is append-only.
+func (d *Dynamic) Edges() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.c.Graph().M()
+}
+
+// Palette returns the session's current palette size.
+func (d *Dynamic) Palette() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.c.Palette()
+}
+
+// Stats returns a snapshot of the session's update counters.
+func (d *Dynamic) Stats() DynamicStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.c.Stats()
+}
+
+// Verify checks that the maintained coloring is proper over the live edges
+// and stays inside the palette — the independent validator used by tests
+// and the daemon.
+func (d *Dynamic) Verify() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.c.Verify()
+}

@@ -1,0 +1,216 @@
+package distec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// dynamicAlgorithms is the full solver matrix the dynamic repair path must
+// support.
+var dynamicAlgorithms = []Algorithm{BKO, BKOTheory, PR01, GreedyClasses, Randomized}
+
+// TestDynamicStreamEquivalence is the acceptance test of the dynamic layer:
+// a ≥10³-update randomized insert/delete stream, with every one of the five
+// algorithms as the repair solver, verifying after every single operation
+// that the maintained coloring is proper and stays inside the palette.
+// A tight fixed palette keeps the conflict-region repair path hot.
+func TestDynamicStreamEquivalence(t *testing.T) {
+	const updates = 1100
+	for _, alg := range dynamicAlgorithms {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			g := RandomRegular(48, 6, 7)
+			// Δ̄+2 is well below the always-greedy threshold 2Δ−1, so inserts
+			// regularly saturate both endpoints and must repair.
+			palette := g.MaxEdgeDegree() + 2
+			d, err := NewDynamic(g, DynamicOptions{Options: Options{
+				Algorithm: alg, Palette: palette, Seed: 3,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(alg)) * 99991))
+			n := g.N()
+			applied, rejected := 0, 0
+			for applied < updates {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				var opErr error
+				refused := false
+				if _, ok := g.HasEdge(u, v); ok && d.Color(mustEdge(t, g, u, v)) >= 0 {
+					opErr = d.Delete(u, v)
+				} else {
+					_, _, opErr = d.Insert(u, v)
+					if errors.Is(opErr, ErrPaletteExhausted) {
+						// Legal refusal under a tight palette; the coloring
+						// must still verify below, but only applied updates
+						// count toward the stream quota.
+						rejected++
+						refused = true
+						opErr = nil
+					}
+				}
+				if opErr != nil {
+					t.Fatalf("update %d (%d,%d): %v", applied, u, v, opErr)
+				}
+				if err := d.Verify(); err != nil {
+					t.Fatalf("after update %d (%d,%d): %v", applied, u, v, err)
+				}
+				if !refused {
+					applied++
+				}
+			}
+			st := d.Stats()
+			if st.Repairs == 0 {
+				t.Fatalf("stream never exercised the repair path (stats %+v)", st)
+			}
+			if st.Palette != palette {
+				t.Fatalf("fixed palette drifted: %d -> %d", palette, st.Palette)
+			}
+			t.Logf("%s: %d inserts (%d greedy, %d repairs over %d edges), %d deletes, %d rejected",
+				alg, st.Inserts, st.GreedyInserts, st.Repairs, st.RepairedEdges, st.Deletes, rejected)
+		})
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, u, v int) EdgeID {
+	t.Helper()
+	id, ok := g.HasEdge(u, v)
+	if !ok {
+		t.Fatalf("edge {%d,%d} vanished", u, v)
+	}
+	return id
+}
+
+// TestDynamicAutoPalette checks the default mode: the palette grows with Δ
+// and every insert is served greedily, staying within 2Δ−1.
+func TestDynamicAutoPalette(t *testing.T) {
+	g := Cycle(64)
+	d, err := NewDynamic(g, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		u, v := rng.Intn(64), rng.Intn(64)
+		if u == v {
+			continue
+		}
+		if _, ok := g.HasEdge(u, v); ok && d.Color(mustEdge(t, g, u, v)) >= 0 {
+			if err := d.Delete(u, v); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			}
+		} else if _, _, err := d.Insert(u, v); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("after update %d: %v", i, err)
+		}
+	}
+	st := d.Stats()
+	if st.Repairs != 0 {
+		t.Fatalf("auto palette repaired %d times; greedy should always succeed", st.Repairs)
+	}
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		deg := 0
+		for _, e := range g.Incident(v) {
+			if d.Color(e) >= 0 {
+				deg++
+			}
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	for e := 0; e < g.M(); e++ {
+		if c := d.Color(EdgeID(e)); c >= d.Palette() {
+			t.Fatalf("edge %d colored %d outside palette %d", e, c, d.Palette())
+		}
+	}
+}
+
+// TestDynamicBatchOnPool runs a session's update batches as jobs on a
+// shared serving pool and checks results match the one-shot session
+// update-for-update.
+func TestDynamicBatchOnPool(t *testing.T) {
+	pool := NewPool(PoolOptions{Workers: 2})
+	defer pool.Close()
+	build := func(p *Pool) *Dynamic {
+		g := RandomRegular(40, 6, 21)
+		d, err := NewDynamic(g, DynamicOptions{
+			Options: Options{Palette: g.MaxEdgeDegree() + 2, Seed: 9},
+			Pool:    p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	pooled, oneshot := build(pool), build(nil)
+
+	rng := rand.New(rand.NewSource(77))
+	var batch []Update
+	for i := 0; i < 300; i++ {
+		u, v := rng.Intn(40), rng.Intn(40)
+		if u == v {
+			continue
+		}
+		batch = append(batch, Update{Op: InsertEdge, U: u, V: v})
+		if len(batch) < 8 {
+			continue
+		}
+		// Random insert streams legitimately fail mid-batch (duplicate
+		// edges, palette refusals); what must match is the applied prefix
+		// and the error disposition of the two sessions.
+		prs, perr := pooled.ApplyBatch(context.Background(), batch)
+		ors, oerr := oneshot.ApplyBatch(context.Background(), batch)
+		if (perr == nil) != (oerr == nil) {
+			t.Fatalf("batch %d diverged: pool err=%v, one-shot err=%v", i, perr, oerr)
+		}
+		if len(prs) != len(ors) {
+			t.Fatalf("batch %d: pool applied %d updates, one-shot %d", i, len(prs), len(ors))
+		}
+		for j := range prs {
+			if prs[j].Edge != ors[j].Edge {
+				t.Fatalf("batch %d result %d: edge %d vs %d", i, j, prs[j].Edge, ors[j].Edge)
+			}
+		}
+		if err := pooled.Verify(); err != nil {
+			t.Fatalf("pooled session after batch %d: %v", i, err)
+		}
+		if err := oneshot.Verify(); err != nil {
+			t.Fatalf("one-shot session after batch %d: %v", i, err)
+		}
+		batch = batch[:0]
+	}
+	if pooled.Stats().Inserts == 0 {
+		t.Fatal("no batch applied")
+	}
+}
+
+// TestDynamicBatchCancellation pins that a cancelled context stops a batch
+// between updates and reports the applied prefix.
+func TestDynamicBatchCancellation(t *testing.T) {
+	g := Cycle(32)
+	d, err := NewDynamic(g, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs, err := d.ApplyBatch(ctx, []Update{{Op: InsertEdge, U: 0, V: 2}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (results %v)", err, rs)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("cancelled batch applied %d updates", len(rs))
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,6 +27,53 @@ func Families(n, d int, seed uint64) []Workload {
 	}
 }
 
+// EdgeOp is one update of a dynamic-graph churn stream.
+type EdgeOp struct {
+	// Delete selects deletion of the (present) edge {U, V}; otherwise the
+	// (absent) pair is inserted.
+	Delete bool
+	U, V   int
+}
+
+// Churn returns a deterministic single-edge update stream over g: at each
+// step a pseudo-random node pair is drawn and the present/absent state of
+// that edge is flipped — delete if live, insert if not. The stream is
+// internally consistent (it simulates the live-edge overlay it drives), so
+// every delete names a live edge and every insert an absent one. This is
+// the update-stream workload of BenchmarkDynamic and the dynamic-coloring
+// experiments.
+func Churn(g *graph.Graph, count int, seed uint64) []EdgeOp {
+	live := make(map[[2]int]bool, g.M())
+	for _, e := range g.Edges() {
+		live[[2]int{int(e.U), int(e.V)}] = true
+	}
+	s := seed
+	nextRand := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	n := g.N()
+	ops := make([]EdgeOp, 0, count)
+	for len(ops) < count {
+		u := int(nextRand() % uint64(n))
+		v := int(nextRand() % uint64(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		op := EdgeOp{Delete: live[key], U: u, V: v}
+		live[key] = !live[key]
+		ops = append(ops, op)
+	}
+	return ops
+}
+
 // geometricWithDegree picks a radius so the expected average degree is ~d.
 func geometricWithDegree(n, d int, seed uint64) *graph.Graph {
 	// Expected degree ≈ n·π·r²; solve for r.

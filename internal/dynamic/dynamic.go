@@ -1,0 +1,515 @@
+// Package dynamic maintains a proper edge coloring of a graph across edge
+// insertions and deletions with locality-bounded repair — the paper's own
+// framing of (deg(e)+1)-list edge coloring as the tool for extending a
+// partial coloring (§1, citing [Bar15]), applied incrementally.
+//
+// The underlying graph.Graph is deliberately append-only, so a Coloring owns
+// a mutable view over it: an insert appends an edge (or revives a
+// tombstoned one), a delete tombstones an edge via the active-edge overlay.
+// Colors are maintained so that the active edges always form a proper
+// coloring from the palette {0, …, Palette−1}:
+//
+//   - Delete just frees the edge's color — removing an edge can never break
+//     properness.
+//
+//   - Insert first tries the greedy step: if a palette color is free at both
+//     endpoints, take the smallest one. With the default auto palette
+//     (2Δ−1, grown as Δ grows) this always succeeds by pigeonhole, since
+//     deg(e) ≤ 2Δ−2 < 2Δ−1.
+//
+//   - Under a tight fixed palette the greedy step can fail: every palette
+//     color is held by some edge at u or at v. Then the coloring is repaired
+//     inside the conflict region with a target-color recoloring: pick a
+//     target color t for the new edge, uncolor the region — the edges at u
+//     and v holding t (at most one per endpoint, t-colored edges being
+//     pairwise non-conflicting) — and re-solve them as a list coloring
+//     subinstance over the induced subgraph with lists from palette∖{t},
+//     pruned of the colors of their fixed frontier neighbors (exactly the
+//     pruning ExtendColoring performs). On success the region takes its new
+//     colors and the new edge takes t.
+//
+//     The region never includes the new edge itself, and that is what makes
+//     repair strictly stronger than greedy: a slack-1 list instance that
+//     contains the new edge e needs |palette| > deg(e), and by pigeonhole a
+//     free color then already existed at the endpoints — such a "repair"
+//     could never fire. Excluding e, the subinstance for target t is
+//     feasible whenever each recolored neighbor f keeps a color: more than
+//     deg_region(f) pruned colors survive whenever |palette| > deg(f) —
+//     the Barenboim–Elkin locality argument, independent of deg(e). Targets
+//     are tried in ascending order, first with the minimal region (the
+//     t-colored neighbors), then with the full neighborhood of e (which
+//     spreads the constraints when a minimal-region list prunes to empty);
+//     only if every target fails is the insert rejected.
+//
+// The repair solver is injected (Repairer), so the same machinery runs on a
+// one-shot engine or as jobs on a shared serving pool.
+package dynamic
+
+import (
+	"fmt"
+
+	"github.com/distec/distec/internal/graph"
+	"github.com/distec/distec/internal/verify"
+)
+
+// Repairer completes a partial coloring of the repair subgraph: edges with
+// partial[e] ≥ 0 keep their color, every other edge must receive a color
+// from lists[e]; the returned slice maps the subgraph's EdgeIDs to colors.
+// distec.ExtendColoring (one-shot or pool-backed) has exactly this shape.
+type Repairer func(sub *graph.Graph, partial []int, lists [][]int, palette int) ([]int, error)
+
+// Options configures New.
+type Options struct {
+	// Palette fixes the palette size. 0 selects the auto palette: it starts
+	// at max(2Δ−1, 1) and grows as inserts raise Δ, so the greedy step always
+	// succeeds and colors stay within the classic (2Δ−1)-coloring bound.
+	// A fixed palette never grows; inserts whose conflict region cannot be
+	// repaired for any target color fail with ErrPaletteExhausted, leaving
+	// the active coloring unchanged.
+	Palette int
+	// Repair solves conflict-region subinstances. Required when Palette > 0;
+	// the auto palette never needs it (may be nil then).
+	Repair Repairer
+}
+
+// Stats counts a Coloring's update traffic.
+type Stats struct {
+	// Inserts and Deletes count successful updates.
+	Inserts uint64 `json:"inserts"`
+	Deletes uint64 `json:"deletes"`
+	// GreedyInserts counts inserts colored by a free palette color at both
+	// endpoints; Repairs counts inserts that recolored a conflict region.
+	// Inserts = GreedyInserts + Repairs.
+	GreedyInserts uint64 `json:"greedy_inserts"`
+	Repairs       uint64 `json:"repairs"`
+	// RepairedEdges totals the edges recolored across all repairs — the
+	// locality bill actually paid, versus ActiveEdges per update for full
+	// recoloring.
+	RepairedEdges uint64 `json:"repaired_edges"`
+	// Palette is the current palette size; ActiveEdges the live edge count.
+	Palette     int `json:"palette"`
+	ActiveEdges int `json:"active_edges"`
+}
+
+// ErrPaletteExhausted marks inserts rejected because the fixed palette
+// cannot accommodate the new edge's conflict region (some edge degree would
+// reach the palette size). The coloring is unchanged.
+var ErrPaletteExhausted = fmt.Errorf("dynamic: fixed palette exhausted")
+
+// Coloring is a proper edge coloring maintained under edge updates. Not
+// safe for concurrent use; the public distec.Dynamic wrapper adds locking.
+type Coloring struct {
+	g       *graph.Graph
+	active  []bool
+	colors  []int
+	deg     []int // active degree per node
+	palette int
+	fixed   bool
+	repair  Repairer
+
+	inserts, deletes, greedy, repairs, repairedEdges uint64
+
+	// usedColor is the color-indexed scratch of the greedy and region-list
+	// steps (stamped, never cleared — same idiom as extendInstance's prune
+	// scratch): usedColor[c] == stamp means color c is taken in the current
+	// scan.
+	usedColor []int
+	stamp     int
+	// nodeMark/edgeMark are node- and edge-indexed stamps for region
+	// collection.
+	nodeMark []int
+	edgeMark []int
+}
+
+// New wraps an existing proper coloring of g for incremental maintenance.
+// colors must assign a color ≥ 0 to every edge of g; it is validated once
+// (O(m)) and copied. The graph is owned by the Coloring afterwards: it must
+// not be mutated except through Insert/Delete.
+func New(g *graph.Graph, colors []int, opts Options) (*Coloring, error) {
+	if len(colors) != g.M() {
+		return nil, fmt.Errorf("dynamic: %d colors for %d edges", len(colors), g.M())
+	}
+	if err := verify.EdgeColoring(g, nil, colors); err != nil {
+		return nil, fmt.Errorf("dynamic: initial coloring invalid: %w", err)
+	}
+	maxColor := -1
+	for _, c := range colors {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	palette := opts.Palette
+	fixed := palette > 0
+	if fixed {
+		if maxColor >= palette {
+			return nil, fmt.Errorf("dynamic: initial coloring uses color %d outside palette [0,%d)", maxColor, palette)
+		}
+		if opts.Repair == nil {
+			return nil, fmt.Errorf("dynamic: fixed palette requires a Repairer")
+		}
+	} else {
+		palette = 2*g.MaxDegree() - 1
+		if palette < maxColor+1 {
+			palette = maxColor + 1
+		}
+		if palette < 1 {
+			palette = 1
+		}
+	}
+	c := &Coloring{
+		g:        g,
+		active:   make([]bool, g.M()),
+		colors:   append([]int(nil), colors...),
+		deg:      make([]int, g.N()),
+		palette:  palette,
+		fixed:    fixed,
+		repair:   opts.Repair,
+		nodeMark: make([]int, g.N()),
+	}
+	for e := range c.active {
+		c.active[e] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		c.deg[v] = g.Degree(v)
+	}
+	c.edgeMark = make([]int, g.M())
+	return c, nil
+}
+
+// Graph returns the underlying graph (including tombstoned edges). Do not
+// mutate it.
+func (c *Coloring) Graph() *graph.Graph { return c.g }
+
+// Palette returns the current palette size.
+func (c *Coloring) Palette() int { return c.palette }
+
+// Color returns edge e's color, −1 if e is tombstoned.
+func (c *Coloring) Color(e graph.EdgeID) int {
+	if !c.active[e] {
+		return -1
+	}
+	return c.colors[e]
+}
+
+// Colors returns a fresh copy of the full coloring by EdgeID, −1 for
+// tombstoned edges.
+func (c *Coloring) Colors() []int {
+	out := append([]int(nil), c.colors...)
+	for e, a := range c.active {
+		if !a {
+			out[e] = -1
+		}
+	}
+	return out
+}
+
+// Active returns a fresh copy of the active-edge overlay by EdgeID.
+func (c *Coloring) Active() []bool { return append([]bool(nil), c.active...) }
+
+// Repairs returns the number of inserts served by conflict-region repair so
+// far — an O(1) accessor for callers attributing individual updates (Stats
+// recounts the live edges, which is O(m)).
+func (c *Coloring) Repairs() uint64 { return c.repairs }
+
+// Stats returns a snapshot of the update counters.
+func (c *Coloring) Stats() Stats {
+	live := 0
+	for _, a := range c.active {
+		if a {
+			live++
+		}
+	}
+	return Stats{
+		Inserts:       c.inserts,
+		Deletes:       c.deletes,
+		GreedyInserts: c.greedy,
+		Repairs:       c.repairs,
+		RepairedEdges: c.repairedEdges,
+		Palette:       c.palette,
+		ActiveEdges:   live,
+	}
+}
+
+// Verify checks that the maintained coloring is proper over the active
+// edges and stays inside the palette. O(m); intended for tests and the
+// daemon's server-side checks.
+func (c *Coloring) Verify() error {
+	if err := verify.EdgeColoring(c.g, c.active, c.colors); err != nil {
+		return err
+	}
+	for e, a := range c.active {
+		if a && c.colors[e] >= c.palette {
+			return fmt.Errorf("dynamic: edge %d colored %d outside palette [0,%d)", e, c.colors[e], c.palette)
+		}
+	}
+	return nil
+}
+
+// nextStamp advances the scratch stamp shared by the stamped scans.
+func (c *Coloring) nextStamp() int {
+	c.stamp++
+	return c.stamp
+}
+
+// freeColor returns the smallest palette color not held by an active edge
+// at u or at v, or −1 if every palette color is taken.
+func (c *Coloring) freeColor(u, v int) int {
+	if len(c.usedColor) < c.palette {
+		// Fresh zeroed scratch: zero never matches a stamp (stamps start at
+		// 1 and only grow), so no reset is needed.
+		c.usedColor = make([]int, c.palette)
+	}
+	stamp := c.nextStamp()
+	mark := func(w int) {
+		for _, f := range c.g.Incident(w) {
+			if c.active[f] {
+				c.usedColor[c.colors[f]] = stamp
+			}
+		}
+	}
+	mark(u)
+	mark(v)
+	for col := 0; col < c.palette; col++ {
+		if c.usedColor[col] != stamp {
+			return col
+		}
+	}
+	return -1
+}
+
+// Insert adds the active edge {u, v} and colors it, returning its EdgeID
+// and color. The coloring stays proper: either a greedily chosen free
+// color, or a locality-bounded repair of the conflict region (see the
+// package comment). On error the coloring is unchanged.
+func (c *Coloring) Insert(u, v int) (graph.EdgeID, int, error) {
+	if u == v {
+		return -1, -1, fmt.Errorf("dynamic: self-loop at node %d", u)
+	}
+	if u < 0 || u >= c.g.N() || v < 0 || v >= c.g.N() {
+		return -1, -1, fmt.Errorf("dynamic: edge {%d,%d} out of range [0,%d)", u, v, c.g.N())
+	}
+	id, exists := c.g.HasEdge(u, v)
+	if exists && c.active[id] {
+		return -1, -1, fmt.Errorf("dynamic: duplicate edge {%d,%d}", u, v)
+	}
+	// Auto palette: keep palette ≥ 2Δ−1 as degrees grow, so the greedy step
+	// below always finds a free color (deg(e) ≤ 2Δ−2).
+	if !c.fixed {
+		for _, d := range []int{c.deg[u] + 1, c.deg[v] + 1} {
+			if p := 2*d - 1; p > c.palette {
+				c.palette = p
+			}
+		}
+	}
+	if col := c.freeColor(u, v); col >= 0 {
+		id = c.commitInsert(id, exists, u, v)
+		c.colors[id] = col
+		c.greedy++
+		c.inserts++
+		return id, col, nil
+	}
+	// Greedy failed (tight fixed palette): repair the conflict region.
+	id = c.commitInsert(id, exists, u, v)
+	col, err := c.repairRegion(id)
+	if err != nil {
+		// Roll the insert back: tombstone the new edge and restore degrees;
+		// region colors were not touched (repairRegion writes only on
+		// success). The edge itself stays in the append-only graph as a
+		// tombstone, exactly as after a delete.
+		c.active[id] = false
+		c.deg[u]--
+		c.deg[v]--
+		return -1, -1, err
+	}
+	c.repairs++
+	c.inserts++
+	return id, col, nil
+}
+
+// commitInsert materializes the edge in the overlay: revive a tombstone or
+// append to the graph, growing the per-edge arrays.
+func (c *Coloring) commitInsert(id graph.EdgeID, exists bool, u, v int) graph.EdgeID {
+	if !exists {
+		id = c.g.MustAddEdge(u, v)
+		c.active = append(c.active, false)
+		c.colors = append(c.colors, -1)
+		c.edgeMark = append(c.edgeMark, 0)
+	}
+	c.active[id] = true
+	c.deg[u]++
+	c.deg[v]++
+	return id
+}
+
+// Delete tombstones the active edge {u, v} and frees its color. Removing an
+// edge never breaks properness, so no repair runs.
+func (c *Coloring) Delete(u, v int) error {
+	id, ok := c.g.HasEdge(u, v)
+	if !ok || !c.active[id] {
+		return fmt.Errorf("dynamic: no active edge {%d,%d}", u, v)
+	}
+	c.active[id] = false
+	c.colors[id] = -1
+	c.deg[u]--
+	c.deg[v]--
+	c.deletes++
+	return nil
+}
+
+// repairRegion repairs the conflict region of the just-inserted, still
+// uncolored edge e by target-color recoloring (see the package comment):
+// for each candidate target t — first over the minimal region (the t-colored
+// edges at e's endpoints), then over the full neighborhood of e — uncolor
+// the region, re-solve it as a list subinstance over the induced subgraph
+// with lists from palette∖{t}, and on success give e the color t. Only a
+// successful attempt writes any color back; it returns e's color.
+func (c *Coloring) repairRegion(e graph.EdgeID) (int, error) {
+	var lastErr error
+	for _, full := range []bool{false, true} {
+		for t := 0; t < c.palette; t++ {
+			col, err := c.tryRepair(e, t, full)
+			if err == nil {
+				return col, nil
+			}
+			lastErr = err
+		}
+	}
+	eu, ev := c.g.Endpoints(e)
+	return -1, fmt.Errorf("%w: no target color can repair the conflict region of {%d,%d} within palette %d (last attempt: %v)",
+		ErrPaletteExhausted, eu, ev, c.palette, lastErr)
+}
+
+// tryRepair attempts one target-color repair of the uncolored edge e: the
+// region — e's active neighbors holding color t, or all of them when
+// full — is uncolored and re-solved over the induced subgraph from lists
+// palette∖{t} (pruned of fixed frontier colors by the Repairer, which for
+// distec.ExtendColoring reuses the color-indexed prune scratch of
+// extendInstance). Infeasible targets surface as Repairer errors (the
+// subinstance fails slack validation) and nothing is written back.
+func (c *Coloring) tryRepair(e graph.EdgeID, t int, full bool) (int, error) {
+	// Region = the neighbors of e to recolor; e itself never joins the
+	// subinstance (a slack-1 instance containing e would need
+	// palette > deg(e), and then greedy would have succeeded already).
+	var region []graph.EdgeID
+	estamp := c.nextStamp()
+	c.edgeMark[e] = estamp // excluded from region and frontier scans
+	c.g.ForEachEdgeNeighbor(e, func(f graph.EdgeID) {
+		if c.active[f] && c.edgeMark[f] != estamp && (full || c.colors[f] == t) {
+			c.edgeMark[f] = estamp
+			region = append(region, f)
+		}
+	})
+	if len(region) == 0 {
+		// t is free at both endpoints; the greedy step handles this, so a
+		// repair attempt reaching here means the color became free only for
+		// this target — take it directly.
+		c.colors[e] = t
+		return t, nil
+	}
+	// Frontier = the active edges adjacent to the region (minus e), which
+	// keep their colors and constrain the region's lists.
+	subEdges := append([]graph.EdgeID(nil), region...)
+	for _, f := range region {
+		c.g.ForEachEdgeNeighbor(f, func(nb graph.EdgeID) {
+			if c.active[nb] && c.edgeMark[nb] != estamp {
+				c.edgeMark[nb] = estamp
+				subEdges = append(subEdges, nb)
+			}
+		})
+	}
+	// Induce the subgraph over the region ∪ frontier edges: remap their
+	// endpoints to a compact node set.
+	nstamp := c.nextStamp()
+	subOf := make(map[int]int)
+	for _, f := range subEdges {
+		u, v := c.g.Endpoints(f)
+		for _, w := range []int{u, v} {
+			if c.nodeMark[w] != nstamp {
+				c.nodeMark[w] = nstamp
+				subOf[w] = len(subOf)
+			}
+		}
+	}
+	sub := graph.New(len(subOf))
+	partial := make([]int, len(subEdges))
+	lists := make([][]int, len(subEdges))
+	// The shared region list palette∖{t}; frontier lists are ignored by the
+	// extension (their entries are fixed) and share the same slice.
+	minusT := make([]int, 0, c.palette-1)
+	for col := 0; col < c.palette; col++ {
+		if col != t {
+			minusT = append(minusT, col)
+		}
+	}
+	regionLen := len(region)
+	for i, f := range subEdges {
+		u, v := c.g.Endpoints(f)
+		sub.MustAddEdge(subOf[u], subOf[v]) // sub EdgeID == i: insertion order
+		lists[i] = minusT
+		if i < regionLen {
+			partial[i] = -1 // region edges to recolor
+		} else {
+			partial[i] = c.colors[f] // frontier edges keep their colors
+		}
+	}
+	subColors, err := c.repair(sub, partial, lists, c.palette)
+	if err != nil {
+		return -1, fmt.Errorf("dynamic: repair with target %d failed: %w", t, err)
+	}
+	if len(subColors) != len(subEdges) {
+		return -1, fmt.Errorf("dynamic: repairer returned %d colors for %d edges", len(subColors), len(subEdges))
+	}
+	// Defensive re-check before committing: the repaired region must be
+	// proper against the full graph (its neighbors all live inside the
+	// subgraph, so this is a bounded scan, and it turns any solver
+	// regression into a loud error instead of silent corruption), and t
+	// must have become free for e.
+	regionIdx := make(map[graph.EdgeID]int, regionLen)
+	for i, f := range region {
+		regionIdx[f] = i
+	}
+	for i, f := range region {
+		col := subColors[i]
+		if col < 0 || col >= c.palette || col == t {
+			return -1, fmt.Errorf("dynamic: repair colored edge %d with %d outside palette∖{%d}", f, col, t)
+		}
+		var conflict error
+		c.g.ForEachEdgeNeighbor(f, func(nb graph.EdgeID) {
+			if conflict != nil || !c.active[nb] || nb == e {
+				return
+			}
+			nbCol := c.colors[nb]
+			if j, inRegion := regionIdx[nb]; inRegion {
+				nbCol = subColors[j]
+			}
+			if nbCol == col {
+				conflict = fmt.Errorf("dynamic: repair left edges %d and %d both colored %d", f, nb, col)
+			}
+		})
+		if conflict != nil {
+			return -1, conflict
+		}
+	}
+	var clash error
+	c.g.ForEachEdgeNeighbor(e, func(nb graph.EdgeID) {
+		if clash != nil || !c.active[nb] {
+			return
+		}
+		nbCol := c.colors[nb]
+		if j, inRegion := regionIdx[nb]; inRegion {
+			nbCol = subColors[j]
+		}
+		if nbCol == t {
+			clash = fmt.Errorf("dynamic: target %d still taken by edge %d after repair", t, nb)
+		}
+	})
+	if clash != nil {
+		return -1, clash
+	}
+	for i, f := range region {
+		c.colors[f] = subColors[i]
+	}
+	c.colors[e] = t
+	c.repairedEdges += uint64(regionLen)
+	return t, nil
+}

@@ -4,7 +4,19 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
+)
+
+// Read input bounds: parsers of untrusted input must not let a 40-byte
+// header drive an O(n) allocation of arbitrary size. A graph within these
+// bounds is far larger than anything the experiments or the daemon handle.
+const (
+	// MaxReadNodes bounds the node count a Read header may declare (the
+	// node count alone drives an O(n) allocation in New).
+	MaxReadNodes = 1 << 24
+	// MaxReadEdges bounds the edge count a Read header may declare.
+	MaxReadEdges = 1 << 28
 )
 
 // WriteTo emits g in the plain edge-list interchange format:
@@ -31,7 +43,11 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	return total, bw.Flush()
 }
 
-// Read parses the edge-list format emitted by WriteTo.
+// Read parses the edge-list format emitted by WriteTo. It is a strict
+// parser of untrusted input: it never panics, rejects negative or oversized
+// counts (see MaxReadNodes, MaxReadEdges), and rejects trailing tokens on
+// header and edge lines — every malformed input yields an error naming the
+// offending line.
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
@@ -39,9 +55,21 @@ func Read(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: missing header: %w", err)
 	}
-	var n, m int
-	if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+	n, m, err := parsePair(line)
+	if err != nil {
 		return nil, fmt.Errorf("graph: bad header %q: %w", line, err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: bad header %q: negative node count %d", line, n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("graph: bad header %q: negative edge count %d", line, m)
+	}
+	if n > MaxReadNodes {
+		return nil, fmt.Errorf("graph: bad header %q: node count %d exceeds limit %d", line, n, MaxReadNodes)
+	}
+	if m > MaxReadEdges {
+		return nil, fmt.Errorf("graph: bad header %q: edge count %d exceeds limit %d", line, m, MaxReadEdges)
 	}
 	g := New(n)
 	for i := 0; i < m; i++ {
@@ -49,15 +77,33 @@ func Read(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
 		}
-		var u, v int
-		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
-			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
+		u, v, err := parsePair(line)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d: bad line %q: %w", i, line, err)
 		}
 		if _, err := g.AddEdge(u, v); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
 		}
 	}
 	return g, nil
+}
+
+// parsePair parses a line of exactly two decimal integers, rejecting
+// missing fields and trailing tokens ("0 1 999" is an error, not {0,1}).
+func parsePair(line string) (int, int, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return 0, 0, fmt.Errorf("want 2 fields, got %d", len(fields))
+	}
+	a, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
 }
 
 func nextLine(sc *bufio.Scanner) (string, error) {

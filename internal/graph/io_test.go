@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReadMalformed pins the strict-parser contract of Read: every malformed
+// input yields an error (never a panic, never a silently wrong graph), and
+// the error names what went wrong. The negative-n, negative-m, and
+// trailing-token cases are regression tests for real bugs: Read used to
+// panic on "-1 0" (graph.New panics on negative n), return an empty graph
+// for a negative m while ignoring the edge lines that followed, and parse
+// "0 1 999" as the edge {0,1}.
+func TestReadMalformed(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "missing header"},
+		{"comments only", "# nothing\n\n# else\n", "missing header"},
+		{"header one field", "5\n", "want 2 fields"},
+		{"header non-numeric", "five 3\n", "bad header"},
+		{"header trailing token", "3 1 junk\n0 1\n", "want 2 fields"},
+		{"negative n", "-1 0\n", "negative node count"},
+		{"negative n with edges", "-5 2\n0 1\n1 2\n", "negative node count"},
+		{"negative m", "3 -2\n0 1\n1 2\n", "negative edge count"},
+		{"huge n", "300000000 0\n", "exceeds limit"},
+		{"huge m", "4 300000000\n0 1\n", "exceeds limit"},
+		{"truncated edge list", "4 3\n0 1\n1 2\n", "edge 2"},
+		{"edge one field", "3 1\n0\n", "want 2 fields"},
+		{"edge non-numeric", "3 1\n0 x\n", "bad line"},
+		{"edge trailing token", "3 2\n0 1 999\n1 2\n", "want 2 fields"},
+		{"edge out of range", "3 1\n0 7\n", "out of range"},
+		{"edge negative endpoint", "3 1\n-1 2\n", "out of range"},
+		{"self loop", "3 1\n1 1\n", "self-loop"},
+		{"duplicate edge", "3 2\n0 1\n1 0\n", "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := Read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Read(%q) = %v, want error containing %q", tc.in, g, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Read(%q) error = %q, want it to contain %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadStrictStillAcceptsValid guards against the strict parser rejecting
+// well-formed input: comments, blank lines, and arbitrary inter-token spacing
+// remain legal.
+func TestReadStrictStillAcceptsValid(t *testing.T) {
+	in := "# comment\n  3   2  \n\n0 1\n# interior\n\t1\t2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got (n=%d,m=%d), want (3,2)", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// FuzzRead asserts Read never panics and that every accepted graph is
+// internally consistent and round-trips through WriteTo.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"3 2\n0 1\n1 2\n",
+		"-1 0\n",
+		"3 -2\n0 1\n",
+		"0 0\n",
+		"3 1 junk\n0 1\n",
+		"3 2\n0 1 999\n1 2\n",
+		"300000000 1\n0 1\n",
+		"4 300000000\n0 1\n",
+		"# comment\n2 1\n0 1\n",
+		"5\n",
+		"a b\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip Read: %v", err)
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			t.Fatalf("round trip mismatch: (%d,%d) != (%d,%d)", h.N(), h.M(), g.N(), g.M())
+		}
+	})
+}
