@@ -56,10 +56,12 @@ func newPoolCache(capacity int) *poolCache {
 // (the only one that reads it), and the defaulted algorithm name is
 // resolved to BKO.
 func (c *poolCache) key(g *Graph, opts Options) uint64 {
-	opts.Palette = effectivePalette(g, opts.Palette)
 	if opts.Algorithm == "" {
 		opts.Algorithm = BKO
 	}
+	// Resolve after the algorithm: the palette default is per-algorithm
+	// (2Δ−1, but Δ+1 for Vizing).
+	opts.Palette = effectivePaletteFor(g, opts.Algorithm, opts.Palette)
 	if opts.Algorithm != Randomized {
 		opts.Seed = 0
 	}

@@ -7,6 +7,11 @@
 //	benchtables -scale smoke    # seconds (CI)
 //	benchtables -scale full     # the largest documented sizes
 //	benchtables -o EXPERIMENTS-tables.md
+//	benchtables -render BENCH_vizing.json,BENCH_dynamic.json
+//
+// -render skips the experiment runners and instead renders recorded
+// benchmark documents (the BENCH_*.json files at the repository root) as
+// markdown tables.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/distec/distec/internal/bench"
@@ -23,6 +29,7 @@ func main() {
 	var (
 		scaleFlag = flag.String("scale", "standard", "smoke|standard|full")
 		outFile   = flag.String("o", "", "write tables to file (default stdout)")
+		render    = flag.String("render", "", "render recorded BENCH_*.json files (comma-separated) instead of running experiments")
 	)
 	flag.Parse()
 
@@ -40,6 +47,15 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *render != "" {
+		for _, path := range strings.Split(*render, ",") {
+			if err := bench.RenderBenchFile(w, strings.TrimSpace(path)); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	start := time.Now()
 	fmt.Fprintf(w, "# Experiment tables (scale: %s, generated %s)\n\n", *scaleFlag, time.Now().Format(time.RFC3339))

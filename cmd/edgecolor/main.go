@@ -6,6 +6,7 @@
 //	edgecolor -gen regular -n 1024 -d 16 -alg bko
 //	edgecolor -in graph.txt -alg pr01 -engine goroutines
 //	edgecolor -gen regular -n 30000 -d 8 -alg pr01 -engine sharded -shards 4
+//	edgecolor -gen complete -n 64 -alg vizing        # Δ+1 colors, guaranteed
 //	graphgen -family gnp -n 500 -p 0.02 | edgecolor -alg randomized
 //
 // The input format is the plain edge list of cmd/graphgen ("n m" header,
@@ -29,10 +30,10 @@ func main() {
 		d       = flag.Int("d", 8, "degree parameter for -gen")
 		p       = flag.Float64("p", 0.05, "edge probability / radius for -gen gnp|geometric")
 		seed    = flag.Uint64("seed", 1, "generator / randomized-algorithm seed")
-		alg     = flag.String("alg", "bko", "algorithm: bko|bko-theory|pr01|greedy-classes|randomized")
+		alg     = flag.String("alg", "bko", "algorithm: bko|bko-theory|pr01|greedy-classes|randomized|vizing")
 		engine  = flag.String("engine", "sequential", "engine: sequential|goroutines|sharded")
 		shards  = flag.Int("shards", 0, "worker count for -engine sharded (default: one per core)")
-		palette = flag.Int("palette", 0, "palette size (default 2Δ−1)")
+		palette = flag.Int("palette", 0, "palette size (default 2Δ−1; Δ+1 for -alg vizing)")
 		dump    = flag.Bool("dump", false, "print per-edge colors")
 	)
 	flag.Parse()
@@ -95,9 +96,9 @@ func validateFlags(engine string, shards int, alg string) error {
 		return fmt.Errorf("-shards must be ≥ 0, got %d", shards)
 	}
 	switch distec.Algorithm(alg) {
-	case distec.BKO, distec.BKOTheory, distec.PR01, distec.GreedyClasses, distec.Randomized:
+	case distec.BKO, distec.BKOTheory, distec.PR01, distec.GreedyClasses, distec.Randomized, distec.Vizing:
 	default:
-		return fmt.Errorf("unknown -alg %q (want bko, bko-theory, pr01, greedy-classes, or randomized)", alg)
+		return fmt.Errorf("unknown -alg %q (want bko, bko-theory, pr01, greedy-classes, randomized, or vizing)", alg)
 	}
 	return nil
 }

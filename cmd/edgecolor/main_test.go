@@ -72,6 +72,7 @@ func TestValidateFlags(t *testing.T) {
 		{"sharded", 4, "pr01"},
 		{"sharded", 0, "greedy-classes"},
 		{"sequential", 2, "randomized"}, // -shards is inert but valid here
+		{"sequential", 0, "vizing"},
 	}
 	for _, tc := range ok {
 		if err := validateFlags(tc.engine, tc.shards, tc.alg); err != nil {

@@ -186,11 +186,11 @@ const maxSessionEdges = 1 << 22
 // colorRequest is the body of POST /v1/color.
 type colorRequest struct {
 	Graph graphSpec `json:"graph"`
-	// Algorithm is one of bko, bko-theory, pr01, greedy-classes, randomized
-	// (default bko).
+	// Algorithm is one of bko, bko-theory, pr01, greedy-classes, randomized,
+	// vizing (default bko).
 	Algorithm string `json:"algorithm,omitempty"`
-	// Palette overrides the palette size (default 2Δ−1; required with
-	// lists).
+	// Palette overrides the palette size (default 2Δ−1, or Δ+1 for vizing;
+	// required with lists).
 	Palette int `json:"palette,omitempty"`
 	// Seed feeds the randomized algorithm.
 	Seed uint64 `json:"seed,omitempty"`

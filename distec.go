@@ -35,6 +35,7 @@ import (
 	"github.com/distec/distec/internal/sharded"
 	"github.com/distec/distec/internal/verify"
 	"github.com/distec/distec/internal/vertexcolor"
+	"github.com/distec/distec/internal/vizing"
 )
 
 // Graph is an undirected simple graph; see NewGraph and the generators.
@@ -68,6 +69,18 @@ const (
 	// Randomized is the classic O(log n) randomized trials baseline
 	// [Lub86]; deterministic for a fixed Options.Seed.
 	Randomized Algorithm = "randomized"
+	// Vizing is the sequential fan/alternating-path algorithm behind
+	// Vizing's theorem: the only solver accepting palettes below the slack
+	// bound Δ̄+1, down to the guaranteed optimum-plus-one of Δ+1 colors.
+	// For ColorEdges, Palette 0 selects Δ+1 (not 2Δ−1), and any explicit
+	// Palette ≥ Δ+1 is accepted. On list and extension instances it reduces
+	// to the sequential greedy, which the (deg(e)+1) slack invariant makes
+	// complete and list-respecting. It is not a LOCAL protocol: the engine
+	// choice is accepted but irrelevant (results are identical on all
+	// engines by construction), Result.Rounds reports the number of
+	// augmentations, and Result.Messages the color assignments written. See
+	// internal/vizing.
+	Vizing Algorithm = "vizing"
 )
 
 // Engine selects how protocols execute.
@@ -97,8 +110,10 @@ type Options struct {
 	// Shards is the worker count for the Sharded engine (default: one per
 	// core). Ignored by the other engines.
 	Shards int
-	// Palette overrides the palette size for ColorEdges (default 2Δ−1).
-	// Must be at least Δ̄+1 to keep the instance (deg(e)+1)-solvable.
+	// Palette overrides the palette size for ColorEdges (default 2Δ−1, or
+	// Δ+1 for the Vizing algorithm). Must be at least Δ̄+1 to keep the
+	// instance (deg(e)+1)-solvable — except under Vizing, whose fan/path
+	// augmentation only needs Palette ≥ Δ+1.
 	Palette int
 	// Seed feeds the Randomized algorithm's simulated coin flips.
 	Seed uint64
@@ -148,9 +163,10 @@ func (o Options) engine() (local.Engine, error) {
 }
 
 // ColorEdges computes a proper edge coloring of g with palette
-// {0, …, Palette−1} (default 2Δ−1). All edges participate.
+// {0, …, Palette−1} (default 2Δ−1; Δ+1 for Algorithm Vizing). All edges
+// participate.
 func ColorEdges(g *Graph, opts Options) (*Result, error) {
-	in, err := uniformInstance(g, opts.Palette)
+	in, err := uniformInstanceFor(g, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -199,25 +215,40 @@ func extendOn(g *Graph, partial []int, lists [][]int, palette int, opts Options,
 	return res, nil
 }
 
-// effectivePalette resolves the ColorEdges palette default: 0 selects 2Δ−1
-// (at least 1). Shared by uniformInstance and the pool result cache, whose
-// keys must not distinguish a defaulted palette from the same value named
-// explicitly.
-func effectivePalette(g *Graph, palette int) int {
+// effectivePaletteFor resolves the ColorEdges palette default per
+// algorithm: 0 selects 2Δ−1, except for Vizing, whose natural regime is
+// Δ+1 (at least 1 either way). Shared by uniformInstanceFor and the pool
+// result cache, whose keys must not distinguish a defaulted palette from
+// the same value named explicitly.
+func effectivePaletteFor(g *Graph, alg Algorithm, palette int) int {
 	if palette != 0 {
 		return palette
 	}
-	c := 2*g.MaxDegree() - 1
+	var c int
+	if alg == Vizing {
+		c = g.MaxDegree() + 1
+	} else {
+		c = 2*g.MaxDegree() - 1
+	}
 	if c < 1 {
 		c = 1
 	}
 	return c
 }
 
-// uniformInstance builds the full-palette instance of ColorEdges (palette 0
-// selects 2Δ−1).
-func uniformInstance(g *Graph, palette int) (*listcolor.Instance, error) {
-	c := effectivePalette(g, palette)
+// uniformInstanceFor builds the full-palette instance of ColorEdges with
+// the algorithm's feasibility bound: the LOCAL solvers need the slack bound
+// palette > Δ̄, while Vizing's augmentation needs only palette ≥ Δ+1
+// (Vizing's theorem) — such instances violate the slack invariant by
+// design, so they skip the slack validation the solvable case requires.
+func uniformInstanceFor(g *Graph, opts Options) (*listcolor.Instance, error) {
+	c := effectivePaletteFor(g, opts.Algorithm, opts.Palette)
+	if opts.Algorithm == Vizing {
+		if delta := g.MaxDegree(); c <= delta {
+			return nil, fmt.Errorf("distec: palette %d below Δ+1=%d (vizing guarantees Δ+1)", c, delta+1)
+		}
+		return listcolor.NewUniform(g, c), nil
+	}
 	if dbar := g.MaxEdgeDegree(); c <= dbar {
 		return nil, fmt.Errorf("distec: palette %d not greater than Δ̄=%d", c, dbar)
 	}
@@ -367,6 +398,16 @@ func colorOn(g *Graph, in *listcolor.Instance, opts Options, run local.Engine) (
 		colors, stats, err = listcolor.SolveBase(in, nil, 0, run)
 	case Randomized:
 		colors, stats, err = randomized.Solve(g, in.Active, in.Lists, opts.Seed, run)
+	case Vizing:
+		// Sequential by nature: no protocol execution, identical on every
+		// engine. The one engine service it does use is cancellation:
+		// engines exposing a liveness check (the pool's job engine) get it
+		// polled between edges, so deadlines still abort a large run.
+		var interrupt func() error
+		if ip, ok := run.(interface{ Interrupt() error }); ok {
+			interrupt = ip.Interrupt
+		}
+		colors, stats, err = vizing.Solve(g, in.Active, in.Lists, in.C, interrupt)
 	default:
 		return nil, fmt.Errorf("distec: unknown algorithm %q", opts.Algorithm)
 	}

@@ -11,9 +11,18 @@ import (
 )
 
 // ErrPaletteExhausted marks dynamic inserts rejected because the session's
-// fixed palette cannot accommodate the new edge's conflict region for any
-// repair target (via errors.Is). The maintained coloring is unchanged.
+// fixed palette cannot accommodate the new edge: no target-color repair of
+// its conflict region succeeded and the Vizing augmentation fallback found
+// no free color either (via errors.Is). By Vizing's theorem this is only
+// reachable for palettes strictly below Δ+1. The maintained coloring is
+// unchanged.
 var ErrPaletteExhausted = dynamic.ErrPaletteExhausted
+
+// ErrEdgeInactive marks deletes of an edge that is not active — already
+// deleted (a double delete) or never inserted (via errors.Is). The
+// maintained coloring is unchanged; in particular a double delete can never
+// free a color twice.
+var ErrEdgeInactive = dynamic.ErrEdgeInactive
 
 // DynamicStats counts a dynamic session's update traffic; see NewDynamic.
 type DynamicStats = dynamic.Stats
@@ -36,12 +45,14 @@ type Update struct {
 }
 
 // UpdateResult reports one applied update: the edge's ID, its color after
-// the update (−1 for deletes), and whether the insert needed a conflict-
-// region repair rather than a free palette color.
+// the update (−1 for deletes), and which tier served an insert — a free
+// palette color (both false), a conflict-region repair (Repaired), or the
+// Vizing fan/alternating-path augmentation fallback (Augmented).
 type UpdateResult struct {
-	Edge     EdgeID `json:"edge"`
-	Color    int    `json:"color"`
-	Repaired bool   `json:"repaired"`
+	Edge      EdgeID `json:"edge"`
+	Color     int    `json:"color"`
+	Repaired  bool   `json:"repaired"`
+	Augmented bool   `json:"augmented"`
 }
 
 // DynamicOptions configures NewDynamic.
@@ -50,8 +61,11 @@ type DynamicOptions struct {
 	// engine) used for the initial coloring and for every conflict-region
 	// repair. Options.Palette fixes the session palette: repairs keep every
 	// color below it and infeasible inserts fail with ErrPaletteExhausted.
-	// Palette 0 selects the auto palette (2Δ−1, grown as inserts raise Δ),
-	// under which every insert is served greedily.
+	// Palette 0 selects the auto palette, grown as inserts raise Δ: 2Δ−1,
+	// under which every insert is served greedily — or Δ+1 for Algorithm
+	// Vizing, matching its static default, under which inserts are served
+	// by the greedy → repair → augmentation ladder and still never
+	// rejected.
 	Options
 	// Pool, when set, runs the initial coloring and every update batch as
 	// jobs on the pool's shared worker lanes: a session's repairs
@@ -68,8 +82,11 @@ type DynamicOptions struct {
 // coloring, applied incrementally. Deletes free their color; inserts take a
 // free palette color when one exists at both endpoints and otherwise
 // recolor only the edges inside the conflict region, by running the
-// configured algorithm as an ExtendColoring over the induced subinstance
-// (see internal/dynamic for the exact repair contract).
+// configured algorithm as an ExtendColoring over the induced subinstance.
+// Inserts that no target-color repair can serve fall back to one Vizing
+// fan/alternating-path augmentation, which succeeds for every palette of at
+// least Δ+1 colors — ErrPaletteExhausted is only reachable below Δ+1 (see
+// internal/dynamic for the exact repair contract).
 //
 // A Dynamic is safe for concurrent use; updates are serialized in arrival
 // order. Create with NewDynamic.
@@ -121,7 +138,13 @@ func NewDynamicFrom(g *Graph, colors []int, opts DynamicOptions) (*Dynamic, erro
 	}
 	d.c, err = dynamic.New(g, colors, dynamic.Options{
 		Palette: opts.Palette,
-		Repair:  d.repairSubinstance,
+		// A Vizing session's auto palette tracks Δ+1, matching the
+		// algorithm's static default — not the 2Δ−1 the other algorithms
+		// auto-select — so picking the Δ+1 algorithm actually yields a Δ+1
+		// session. The palette grows with Δ, so inserts are still never
+		// rejected.
+		AutoDeltaPlusOne: opts.Algorithm == Vizing,
+		Repair:           d.repairSubinstance,
 	})
 	if err != nil {
 		return nil, err
@@ -202,12 +225,17 @@ func (d *Dynamic) applyLocked(ctx context.Context, eng local.Engine, updates []U
 		}
 		switch up.Op {
 		case InsertEdge:
-			before := d.c.Repairs()
+			beforeRepairs, beforeAugments := d.c.Repairs(), d.c.Augments()
 			id, col, err := d.c.Insert(up.U, up.V)
 			if err != nil {
 				return results, fmt.Errorf("update %d: %w", i, err)
 			}
-			results = append(results, UpdateResult{Edge: id, Color: col, Repaired: d.c.Repairs() > before})
+			results = append(results, UpdateResult{
+				Edge:      id,
+				Color:     col,
+				Repaired:  d.c.Repairs() > beforeRepairs,
+				Augmented: d.c.Augments() > beforeAugments,
+			})
 		case DeleteEdge:
 			id, _ := d.c.Graph().HasEdge(up.U, up.V)
 			if err := d.c.Delete(up.U, up.V); err != nil {

@@ -5,14 +5,16 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+
+	"github.com/distec/distec/internal/bench"
 )
 
 // dynamicAlgorithms is the full solver matrix the dynamic repair path must
 // support.
-var dynamicAlgorithms = []Algorithm{BKO, BKOTheory, PR01, GreedyClasses, Randomized}
+var dynamicAlgorithms = []Algorithm{BKO, BKOTheory, PR01, GreedyClasses, Randomized, Vizing}
 
 // TestDynamicStreamEquivalence is the acceptance test of the dynamic layer:
-// a ≥10³-update randomized insert/delete stream, with every one of the five
+// a ≥10³-update randomized insert/delete stream, with every one of the six
 // algorithms as the repair solver, verifying after every single operation
 // that the maintained coloring is proper and stays inside the palette.
 // A tight fixed palette keeps the conflict-region repair path hot.
@@ -190,6 +192,181 @@ func TestDynamicBatchOnPool(t *testing.T) {
 	}
 	if pooled.Stats().Inserts == 0 {
 		t.Fatal("no batch applied")
+	}
+}
+
+// TestDynamicDoubleDelete is the regression test for the typed
+// ErrEdgeInactive contract: a second delete of the same edge must fail with
+// ErrEdgeInactive and must NOT free the color again — otherwise a
+// subsequent insert could observe a color as free while a live edge still
+// holds it and produce a conflicting coloring.
+func TestDynamicDoubleDelete(t *testing.T) {
+	g := Complete(6) // Δ=5, every pair is an edge
+	palette := g.MaxEdgeDegree() + 2
+	d, err := NewDynamic(g, DynamicOptions{Options: Options{Palette: palette}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(0, 1); err != nil {
+		t.Fatalf("first delete: %v", err)
+	}
+	if err := d.Delete(0, 1); !errors.Is(err, ErrEdgeInactive) {
+		t.Fatalf("double delete: want ErrEdgeInactive, got %v", err)
+	}
+	if err := d.Delete(1, 0); !errors.Is(err, ErrEdgeInactive) {
+		t.Fatalf("double delete (swapped endpoints): want ErrEdgeInactive, got %v", err)
+	}
+	// A delete of an edge that never existed is the same client mistake.
+	g2 := Cycle(8)
+	d2, err := NewDynamic(g2, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Delete(0, 4); !errors.Is(err, ErrEdgeInactive) {
+		t.Fatalf("delete of absent edge: want ErrEdgeInactive, got %v", err)
+	}
+	// Double delete then insert: the revived edge and every neighbor must
+	// still form a proper coloring (this is what a double color-free would
+	// break).
+	if _, _, err := d.Insert(0, 1); err != nil {
+		t.Fatalf("reinsert after double delete: %v", err)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatalf("coloring after double-delete/insert cycle: %v", err)
+	}
+	// Batch form: the failing delete stops the batch with the typed error
+	// and the applied prefix intact.
+	rs, err := d.ApplyBatch(context.Background(), []Update{
+		{Op: DeleteEdge, U: 2, V: 3},
+		{Op: DeleteEdge, U: 2, V: 3},
+		{Op: InsertEdge, U: 2, V: 3},
+	})
+	if !errors.Is(err, ErrEdgeInactive) {
+		t.Fatalf("batch double delete: want ErrEdgeInactive, got %v", err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("batch applied %d updates, want 1", len(rs))
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicAugmentationTier pins the new guarantee: under a fixed Δ+1
+// palette — far below the 2Δ−1 regime and below the slack bound Δ̄+1 the
+// repair subinstances need — an insert stream is still never rejected,
+// because inserts the target-color repair cannot serve fall through to the
+// Vizing augmentation. Δ is kept stable by inserting only edges that do not
+// raise the maximum degree beyond the initial bound.
+func TestDynamicAugmentationTier(t *testing.T) {
+	g := RandomRegular(32, 6, 13)
+	delta := g.MaxDegree()
+	palette := delta + 1
+	init, err := ColorEdges(g, Options{Algorithm: Vizing, Palette: palette})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamicFrom(g, init.Colors, DynamicOptions{Options: Options{Palette: palette}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range bench.ChurnCapped(g, 600, delta, 23) {
+		if op.Delete {
+			if err := d.Delete(op.U, op.V); err != nil {
+				t.Fatalf("delete {%d,%d}: %v", op.U, op.V, err)
+			}
+		} else if _, _, err := d.Insert(op.U, op.V); err != nil {
+			t.Fatalf("insert {%d,%d} rejected under Δ+1 palette: %v", op.U, op.V, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("after update %d: %v", i, err)
+		}
+	}
+	st := d.Stats()
+	if st.Augmentations == 0 {
+		t.Fatalf("Δ+1 stream never exercised the augmentation tier (stats %+v)", st)
+	}
+	t.Logf("Δ+1 palette: %d inserts (%d greedy, %d repairs, %d augmentations over %d edges)",
+		st.Inserts, st.GreedyInserts, st.Repairs, st.Augmentations, st.AugmentedEdges)
+}
+
+// TestDynamicVizingAutoPalette: a session created with Algorithm Vizing and
+// Palette 0 must actually live in the Δ+1 regime — auto palette Δ+1,
+// growing with Δ — not silently fall back to the 2Δ−1 auto palette of the
+// other algorithms. Updates are never rejected: the palette tracks Δ+1, so
+// the augmentation tier always succeeds.
+func TestDynamicVizingAutoPalette(t *testing.T) {
+	g := RandomRegular(24, 4, 5)
+	delta := g.MaxDegree()
+	d, err := NewDynamic(g, DynamicOptions{Options: Options{Algorithm: Vizing}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Palette(); got != delta+1 {
+		t.Fatalf("vizing session auto palette = %d, want Δ+1 = %d", got, delta+1)
+	}
+	// Degree-capped churn keeps Δ at 4: the palette must stay 5 and the
+	// tight-palette tiers must fire without a single rejection.
+	for i, op := range bench.ChurnCapped(g, 300, delta, 77) {
+		var err error
+		if op.Delete {
+			err = d.Delete(op.U, op.V)
+		} else {
+			_, _, err = d.Insert(op.U, op.V)
+		}
+		if err != nil {
+			t.Fatalf("update %d (%+v): %v", i, op, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("after update %d: %v", i, err)
+		}
+	}
+	if got := d.Palette(); got != delta+1 {
+		t.Fatalf("capped churn grew the palette to %d, want it pinned at %d", got, delta+1)
+	}
+	st := d.Stats()
+	if st.Repairs+st.Augmentations == 0 {
+		t.Fatalf("Δ+1 auto palette never exercised the tight tiers (stats %+v)", st)
+	}
+	// Raising Δ grows the palette to the new Δ+1 instead of rejecting. The
+	// palette is monotone (it never shrinks on deletes), so the invariant
+	// to pin is: after each insert, palette = max(palette before, post-
+	// insert degree of either endpoint + 1) — tracked here seed-
+	// independently rather than equated with the final live Δ.
+	liveDeg := func(v int) int {
+		n := 0
+		for _, e := range g.Incident(v) {
+			if d.Color(e) >= 0 {
+				n++
+			}
+		}
+		return n
+	}
+	expected := d.Palette()
+	u := 0
+	added := 0
+	for v := 1; v < g.N() && added < 2; v++ {
+		if id, ok := g.HasEdge(u, v); ok && d.Color(id) >= 0 {
+			continue
+		}
+		for _, w := range []int{u, v} {
+			if p := liveDeg(w) + 2; p > expected {
+				expected = p
+			}
+		}
+		if _, _, err := d.Insert(u, v); err != nil {
+			t.Fatalf("degree-raising insert {%d,%d}: %v", u, v, err)
+		}
+		added++
+	}
+	if added == 0 {
+		t.Fatal("test bug: node 0 had no absent neighbor to insert")
+	}
+	if got := d.Palette(); got != expected {
+		t.Fatalf("after degree-raising inserts: palette %d, want %d", got, expected)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
 	}
 }
 

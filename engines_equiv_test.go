@@ -25,7 +25,10 @@ func TestEngineEquivalence(t *testing.T) {
 		{"gnp", GNP(40, 0.12, 23)},
 		{"tree", RandomTree(50, 29)},
 	}
-	algorithms := []Algorithm{BKO, BKOTheory, PR01, GreedyClasses, Randomized}
+	// Vizing is sequential whatever the engine, so its inclusion pins the
+	// weaker (but still required) property that engine selection cannot
+	// change its output.
+	algorithms := []Algorithm{BKO, BKOTheory, PR01, GreedyClasses, Randomized, Vizing}
 	for _, w := range workloads {
 		for _, alg := range algorithms {
 			t.Run(fmt.Sprintf("%s/%s", w.name, alg), func(t *testing.T) {

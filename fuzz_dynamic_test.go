@@ -1,0 +1,84 @@
+package distec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDynamic decodes arbitrary byte streams into a dynamic-coloring
+// session — node count, palette, algorithm, then a stream of insert/delete
+// ops, valid or not — and asserts the two properties no input may break:
+// the session never panics, and the maintained coloring verifies after
+// every single update, whether the update succeeded or was rejected.
+// Rejections themselves are legitimate (duplicate inserts, deletes of
+// absent edges, palettes below Δ+1): what the fuzzer pins is that a
+// rejected update leaves no trace.
+//
+// This is the dynamic-layer sibling of internal/graph's FuzzRead (both run
+// as CI fuzz smoke steps).
+func FuzzDynamic(f *testing.F) {
+	f.Add([]byte{8, 0, 0, 2, 3, 5, 7})                              // auto palette, a few inserts
+	f.Add([]byte{4, 3, 0, 0, 1, 2, 3, 1, 2, 3, 3})                  // tight palette 3, duplicate ops
+	f.Add([]byte{12, 5, 3, 0, 1, 2, 1, 4, 3, 1, 2, 6, 5, 8, 7, 10}) // vizing, palette 5
+	f.Add([]byte{2, 1, 1, 0, 1, 0, 1, 0, 1})                        // K2 churn at palette 1
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		if len(data) > 512 {
+			data = data[:512] // bound a single case's work
+		}
+		n := 2 + int(data[0])%14
+		palette := int(data[1]) % 10 // 0: auto
+		algs := []Algorithm{BKO, PR01, GreedyClasses, Vizing}
+		alg := algs[int(data[2])%len(algs)]
+		d, err := NewDynamic(NewGraph(n), DynamicOptions{Options: Options{
+			Algorithm: alg, Palette: palette, Seed: 1,
+		}})
+		if err != nil {
+			// An empty graph colors under every palette ≥ 1; only palette 0
+			// (auto) or ≥ 1 reach here, so creation must succeed.
+			t.Fatalf("NewDynamic(n=%d, palette=%d, %s): %v", n, palette, alg, err)
+		}
+		ops := data[3:]
+		for i := 0; i+1 < len(ops); i += 2 {
+			del := ops[i]&1 == 1
+			u := int(ops[i]>>1) % n
+			v := int(ops[i+1]) % n
+			var opErr error
+			if del {
+				opErr = d.Delete(u, v)
+			} else {
+				_, _, opErr = d.Insert(u, v)
+			}
+			if opErr != nil && !tolerableUpdateError(opErr) {
+				t.Fatalf("op %d (%v %d-%d) on n=%d palette=%d %s: unexpected error %v",
+					i/2, del, u, v, n, palette, alg, opErr)
+			}
+			if err := d.Verify(); err != nil {
+				t.Fatalf("op %d (%v %d-%d) on n=%d palette=%d %s: coloring corrupted: %v",
+					i/2, del, u, v, n, palette, alg, err)
+			}
+		}
+		st := d.Stats()
+		if st.Inserts != st.GreedyInserts+st.Repairs+st.Augmentations {
+			t.Fatalf("stats do not add up: %+v", st)
+		}
+	})
+}
+
+// tolerableUpdateError reports whether an update error is a legitimate
+// rejection of fuzzer-crafted input rather than a defect: self-loops,
+// duplicate inserts, deletes of absent/tombstoned edges, and palettes the
+// session genuinely cannot serve.
+func tolerableUpdateError(err error) bool {
+	if errors.Is(err, ErrPaletteExhausted) || errors.Is(err, ErrEdgeInactive) {
+		return true
+	}
+	// Self-loops and duplicate inserts are rejected with input-shaped
+	// errors; anything else (solver failures, internal invariants) is not
+	// tolerable.
+	msg := err.Error()
+	return strings.Contains(msg, "self-loop") || strings.Contains(msg, "duplicate edge")
+}

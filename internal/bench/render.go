@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RenderBenchFile renders one recorded benchmark JSON file (the BENCH_*.json
+// documents checked in at the repository root: BENCH_engines, BENCH_pool,
+// BENCH_dynamic, BENCH_vizing) as GitHub-flavored markdown — the
+// benchtables -render mode.
+func RenderBenchFile(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return RenderBenchJSON(w, filepath.Base(path), data)
+}
+
+// RenderBenchJSON renders one recorded benchmark document. The format is
+// schema-free: scalar fields become a two-column table, nested objects
+// become bold-titled subsections (recursively), long string fields
+// ("headline", "notes", workload descriptions) become quoted paragraphs.
+// Keys are emitted in sorted order so output is deterministic.
+func RenderBenchJSON(w io.Writer, name string, data []byte) error {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("bench: %s: %w", name, err)
+	}
+	title := name
+	if s, ok := doc["benchmark"].(string); ok {
+		title = s
+		delete(doc, "benchmark")
+	}
+	fmt.Fprintf(w, "### %s — %s\n\n", name, title)
+	renderObject(w, doc, "")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// renderObject writes one (sub)object: scalars first as a table, then the
+// nested objects as subsections.
+func renderObject(w io.Writer, obj map[string]any, prefix string) {
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var scalars, prose, nested []string
+	for _, k := range keys {
+		switch v := obj[k].(type) {
+		case map[string]any:
+			nested = append(nested, k)
+		case []any:
+			// Arrays of objects (BENCH_engines' workloads, BENCH_pool's
+			// jobs) are sections, not cells; arrays of scalars stay inline.
+			if containsObject(v) {
+				nested = append(nested, k)
+			} else {
+				scalars = append(scalars, k)
+			}
+		case string:
+			if len(v) > 80 {
+				prose = append(prose, k)
+			} else {
+				scalars = append(scalars, k)
+			}
+		default:
+			scalars = append(scalars, k)
+		}
+	}
+	if len(scalars) > 0 {
+		fmt.Fprintln(w, "| field | value |")
+		fmt.Fprintln(w, "|---|---|")
+		for _, k := range scalars {
+			fmt.Fprintf(w, "| %s | %s |\n", k, renderValue(obj[k]))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, k := range prose {
+		fmt.Fprintf(w, "> **%s:** %s\n\n", k, obj[k])
+	}
+	for _, k := range nested {
+		label := k
+		if prefix != "" {
+			label = prefix + " · " + k
+		}
+		switch v := obj[k].(type) {
+		case map[string]any:
+			fmt.Fprintf(w, "**%s**\n\n", label)
+			renderObject(w, v, label)
+		case []any:
+			for i, elem := range v {
+				item := fmt.Sprintf("%s · #%d", label, i+1)
+				fmt.Fprintf(w, "**%s**\n\n", item)
+				if m, ok := elem.(map[string]any); ok {
+					renderObject(w, m, item)
+				} else {
+					fmt.Fprintf(w, "%s\n\n", renderValue(elem))
+				}
+			}
+		}
+	}
+}
+
+// containsObject reports whether the array holds any JSON object.
+func containsObject(v []any) bool {
+	for _, e := range v {
+		if _, ok := e.(map[string]any); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// renderValue formats a leaf: JSON numbers without the float64 artifacts,
+// arrays inline.
+func renderValue(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'f', -1, 64)
+	case []any:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = renderValue(e)
+		}
+		return strings.Join(parts, ", ")
+	case nil:
+		return "—"
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

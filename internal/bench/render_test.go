@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchJSON = `{
+  "benchmark": "BenchmarkVizing",
+  "date": "2026-07-26",
+  "host": {"cpu": "TestCPU", "cores": 1},
+  "results": {
+    "static_delta_plus_1": {"ns_per_run": 37565130, "augmentations": 3967},
+    "churn_tight": {"ns_per_update": 47503.5, "rejected": 0}
+  },
+  "workloads": [
+    {"name": "ring", "edges": 100000},
+    {"name": "regular", "edges": 250000}
+  ],
+  "tags": ["a", "b"],
+  "notes": "a long free-text note that should render as a quoted paragraph rather than a table cell because it easily exceeds the eighty character threshold"
+}`
+
+func TestRenderBenchJSON(t *testing.T) {
+	var b strings.Builder
+	if err := RenderBenchJSON(&b, "BENCH_vizing.json", []byte(sampleBenchJSON)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"### BENCH_vizing.json — BenchmarkVizing",
+		"| date | 2026-07-26 |",
+		"**results · static_delta_plus_1**",
+		"| ns_per_run | 37565130 |",
+		"| ns_per_update | 47503.5 |", // no float64 artifacts
+		"| rejected | 0 |",
+		"> **notes:**",
+		"**workloads · #1**", // arrays of objects become sections
+		"| name | ring |",
+		"| tags | a, b |", // scalar arrays stay inline
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderBenchJSONDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := RenderBenchJSON(&a, "x.json", []byte(sampleBenchJSON)); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderBenchJSON(&b, "x.json", []byte(sampleBenchJSON)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renders of the same document differ")
+	}
+}
+
+func TestRenderBenchJSONRejectsGarbage(t *testing.T) {
+	var b strings.Builder
+	if err := RenderBenchJSON(&b, "bad.json", []byte("{not json")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+}
+
+// TestRenderBenchFileCheckedIn renders the repository's own recorded
+// documents, so a schema drift that breaks the renderer fails here and not
+// in a user's terminal.
+func TestRenderBenchFileCheckedIn(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Skipf("no checked-in BENCH files found (err=%v)", err)
+	}
+	for _, path := range matches {
+		var b strings.Builder
+		if err := RenderBenchFile(&b, path); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "### ") {
+			t.Fatalf("%s rendered without a heading", path)
+		}
+		// Arrays of objects must become sections, never %v-formatted Go
+		// map syntax inside a table cell.
+		if strings.Contains(out, "map[") {
+			t.Fatalf("%s rendered raw Go map syntax:\n%s", path, out)
+		}
+	}
+}
+
+func TestRenderBenchFileMissing(t *testing.T) {
+	var b strings.Builder
+	if err := RenderBenchFile(&b, filepath.Join(os.TempDir(), "definitely-not-here.json")); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}

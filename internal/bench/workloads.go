@@ -43,9 +43,22 @@ type EdgeOp struct {
 // the update-stream workload of BenchmarkDynamic and the dynamic-coloring
 // experiments.
 func Churn(g *graph.Graph, count int, seed uint64) []EdgeOp {
+	return ChurnCapped(g, count, 0, seed)
+}
+
+// ChurnCapped is Churn with a degree cap: when maxDeg > 0, inserts that
+// would push an endpoint beyond maxDeg are skipped, so the graph's maximum
+// degree never exceeds max(initial Δ, maxDeg) over the whole stream. With
+// maxDeg = the initial Δ, a fixed palette of Δ+1 stays valid — and tight —
+// at every update, which is the workload of the vizing-augmentation
+// benchmarks and property tests. maxDeg 0 disables the cap.
+func ChurnCapped(g *graph.Graph, count, maxDeg int, seed uint64) []EdgeOp {
 	live := make(map[[2]int]bool, g.M())
+	deg := make([]int, g.N())
 	for _, e := range g.Edges() {
 		live[[2]int{int(e.U), int(e.V)}] = true
+		deg[e.U]++
+		deg[e.V]++
 	}
 	s := seed
 	nextRand := func() uint64 {
@@ -67,9 +80,17 @@ func Churn(g *graph.Graph, count int, seed uint64) []EdgeOp {
 			u, v = v, u
 		}
 		key := [2]int{u, v}
-		op := EdgeOp{Delete: live[key], U: u, V: v}
-		live[key] = !live[key]
-		ops = append(ops, op)
+		if live[key] {
+			ops = append(ops, EdgeOp{Delete: true, U: u, V: v})
+			live[key] = false
+			deg[u]--
+			deg[v]--
+		} else if maxDeg <= 0 || (deg[u] < maxDeg && deg[v] < maxDeg) {
+			ops = append(ops, EdgeOp{U: u, V: v})
+			live[key] = true
+			deg[u]++
+			deg[v]++
+		}
 	}
 	return ops
 }

@@ -28,6 +28,17 @@
 //     pruning ExtendColoring performs). On success the region takes its new
 //     colors and the new edge takes t.
 //
+//     Should every target fail, a final tier runs before the insert is
+//     rejected: one Vizing fan/alternating-path augmentation
+//     (internal/vizing) colors the new edge directly, recoloring the fan
+//     around one endpoint and flipping one Kempe chain. The augmentation
+//     succeeds whenever the palette has at least Δ+1 colors (Vizing's
+//     theorem), so ErrPaletteExhausted is only reachable for palettes
+//     strictly below Δ+1. Unlike the target-color repair, the augmentation
+//     is a sequential in-place operation — it involves no solver, engine,
+//     or pool job — and its cost is O(fan·Δ + path), path being the one
+//     flipped alternating chain.
+//
 //     The region never includes the new edge itself, and that is what makes
 //     repair strictly stronger than greedy: a slack-1 list instance that
 //     contains the new edge e needs |palette| > deg(e), and by pigeonhole a
@@ -46,10 +57,13 @@
 package dynamic
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"github.com/distec/distec/internal/graph"
 	"github.com/distec/distec/internal/verify"
+	"github.com/distec/distec/internal/vizing"
 )
 
 // Repairer completes a partial coloring of the repair subgraph: edges with
@@ -64,11 +78,22 @@ type Options struct {
 	// at max(2Δ−1, 1) and grows as inserts raise Δ, so the greedy step always
 	// succeeds and colors stay within the classic (2Δ−1)-coloring bound.
 	// A fixed palette never grows; inserts whose conflict region cannot be
-	// repaired for any target color fail with ErrPaletteExhausted, leaving
-	// the active coloring unchanged.
+	// repaired for any target color fall back to one Vizing augmentation,
+	// and only if that also fails — possible only for palettes below Δ+1 —
+	// the insert fails with ErrPaletteExhausted, leaving the active
+	// coloring unchanged.
 	Palette int
-	// Repair solves conflict-region subinstances. Required when Palette > 0;
-	// the auto palette never needs it (may be nil then).
+	// AutoDeltaPlusOne switches the auto palette (Palette 0) from 2Δ−1 to
+	// Δ+1: it starts at max(Δ+1, 1) and grows to Δ+1 as inserts raise Δ,
+	// so the session always holds the tightest guaranteed palette instead
+	// of the classic bound. A Δ+1 palette is tight — inserts regularly
+	// fall through to the repair and augmentation tiers (never to a
+	// rejection: the palette grows with Δ, so augmentation always
+	// succeeds). distec selects this for Vizing-algorithm sessions.
+	AutoDeltaPlusOne bool
+	// Repair solves conflict-region subinstances. Required when Palette > 0
+	// or AutoDeltaPlusOne is set; the 2Δ−1 auto palette never needs it
+	// (may be nil then).
 	Repair Repairer
 }
 
@@ -78,23 +103,34 @@ type Stats struct {
 	Inserts uint64 `json:"inserts"`
 	Deletes uint64 `json:"deletes"`
 	// GreedyInserts counts inserts colored by a free palette color at both
-	// endpoints; Repairs counts inserts that recolored a conflict region.
-	// Inserts = GreedyInserts + Repairs.
+	// endpoints; Repairs counts inserts that recolored a conflict region;
+	// Augmentations counts inserts served by the Vizing fan/path fallback
+	// after every target-color repair failed.
+	// Inserts = GreedyInserts + Repairs + Augmentations.
 	GreedyInserts uint64 `json:"greedy_inserts"`
 	Repairs       uint64 `json:"repairs"`
-	// RepairedEdges totals the edges recolored across all repairs — the
-	// locality bill actually paid, versus ActiveEdges per update for full
-	// recoloring.
-	RepairedEdges uint64 `json:"repaired_edges"`
+	Augmentations uint64 `json:"augmentations"`
+	// RepairedEdges totals the edges recolored across all repairs, and
+	// AugmentedEdges across all augmentations — the locality bill actually
+	// paid, versus ActiveEdges per update for full recoloring.
+	RepairedEdges  uint64 `json:"repaired_edges"`
+	AugmentedEdges uint64 `json:"augmented_edges"`
 	// Palette is the current palette size; ActiveEdges the live edge count.
 	Palette     int `json:"palette"`
 	ActiveEdges int `json:"active_edges"`
 }
 
 // ErrPaletteExhausted marks inserts rejected because the fixed palette
-// cannot accommodate the new edge's conflict region (some edge degree would
-// reach the palette size). The coloring is unchanged.
-var ErrPaletteExhausted = fmt.Errorf("dynamic: fixed palette exhausted")
+// cannot accommodate the new edge: no target-color repair of its conflict
+// region succeeded and the Vizing augmentation fallback found a vertex with
+// no free color. By Vizing's theorem this is only reachable for palettes
+// strictly below Δ+1. The coloring is unchanged.
+var ErrPaletteExhausted = errors.New("dynamic: fixed palette exhausted")
+
+// ErrEdgeInactive marks deletes of an edge that is not active: already
+// deleted (tombstoned) or never inserted. The overlay is unchanged — in
+// particular a double delete can never free a color twice.
+var ErrEdgeInactive = errors.New("dynamic: edge not active")
 
 // Coloring is a proper edge coloring maintained under edge updates. Not
 // safe for concurrent use; the public distec.Dynamic wrapper adds locking.
@@ -105,9 +141,15 @@ type Coloring struct {
 	deg     []int // active degree per node
 	palette int
 	fixed   bool
+	autoD1  bool // auto palette tracks Δ+1 instead of 2Δ−1
 	repair  Repairer
+	// aug is the Vizing fallback's reusable scratch, created on first use;
+	// it re-reads the live coloring on every call, so it stays correct
+	// across the greedy and repair tiers' own writes.
+	aug *vizing.Augmenter
 
 	inserts, deletes, greedy, repairs, repairedEdges uint64
+	augments, augmentedEdges                         uint64
 
 	// usedColor is the color-indexed scratch of the greedy and region-list
 	// steps (stamped, never cleared — same idiom as extendInstance's prune
@@ -148,7 +190,14 @@ func New(g *graph.Graph, colors []int, opts Options) (*Coloring, error) {
 			return nil, fmt.Errorf("dynamic: fixed palette requires a Repairer")
 		}
 	} else {
-		palette = 2*g.MaxDegree() - 1
+		if opts.AutoDeltaPlusOne {
+			palette = g.MaxDegree() + 1
+			if opts.Repair == nil {
+				return nil, fmt.Errorf("dynamic: the Δ+1 auto palette requires a Repairer")
+			}
+		} else {
+			palette = 2*g.MaxDegree() - 1
+		}
 		if palette < maxColor+1 {
 			palette = maxColor + 1
 		}
@@ -163,6 +212,7 @@ func New(g *graph.Graph, colors []int, opts Options) (*Coloring, error) {
 		deg:      make([]int, g.N()),
 		palette:  palette,
 		fixed:    fixed,
+		autoD1:   !fixed && opts.AutoDeltaPlusOne,
 		repair:   opts.Repair,
 		nodeMark: make([]int, g.N()),
 	}
@@ -211,6 +261,10 @@ func (c *Coloring) Active() []bool { return append([]bool(nil), c.active...) }
 // recounts the live edges, which is O(m)).
 func (c *Coloring) Repairs() uint64 { return c.repairs }
 
+// Augments returns the number of inserts served by the Vizing augmentation
+// fallback so far; an O(1) accessor like Repairs.
+func (c *Coloring) Augments() uint64 { return c.augments }
+
 // Stats returns a snapshot of the update counters.
 func (c *Coloring) Stats() Stats {
 	live := 0
@@ -220,13 +274,15 @@ func (c *Coloring) Stats() Stats {
 		}
 	}
 	return Stats{
-		Inserts:       c.inserts,
-		Deletes:       c.deletes,
-		GreedyInserts: c.greedy,
-		Repairs:       c.repairs,
-		RepairedEdges: c.repairedEdges,
-		Palette:       c.palette,
-		ActiveEdges:   live,
+		Inserts:        c.inserts,
+		Deletes:        c.deletes,
+		GreedyInserts:  c.greedy,
+		Repairs:        c.repairs,
+		Augmentations:  c.augments,
+		RepairedEdges:  c.repairedEdges,
+		AugmentedEdges: c.augmentedEdges,
+		Palette:        c.palette,
+		ActiveEdges:    live,
 	}
 }
 
@@ -292,11 +348,18 @@ func (c *Coloring) Insert(u, v int) (graph.EdgeID, int, error) {
 	if exists && c.active[id] {
 		return -1, -1, fmt.Errorf("dynamic: duplicate edge {%d,%d}", u, v)
 	}
-	// Auto palette: keep palette ≥ 2Δ−1 as degrees grow, so the greedy step
-	// below always finds a free color (deg(e) ≤ 2Δ−2).
+	// Auto palette: grow with the degrees — to 2Δ−1, under which the greedy
+	// step below always finds a free color (deg(e) ≤ 2Δ−2), or in Δ+1 mode
+	// just to Δ+1, under which the repair/augmentation ladder always
+	// serves the insert (Vizing's theorem; the palette covers the
+	// post-insert degree).
 	if !c.fixed {
 		for _, d := range []int{c.deg[u] + 1, c.deg[v] + 1} {
-			if p := 2*d - 1; p > c.palette {
+			p := 2*d - 1
+			if c.autoD1 {
+				p = d + 1
+			}
+			if p > c.palette {
 				c.palette = p
 			}
 		}
@@ -311,11 +374,32 @@ func (c *Coloring) Insert(u, v int) (graph.EdgeID, int, error) {
 	// Greedy failed (tight fixed palette): repair the conflict region.
 	id = c.commitInsert(id, exists, u, v)
 	col, err := c.repairRegion(id)
+	if err != nil && errors.Is(err, ErrPaletteExhausted) {
+		// Fallback tier: no target color worked, so run one Vizing fan/
+		// alternating-path augmentation on the live coloring. It succeeds
+		// whenever the palette is at least Δ+1 — strictly beyond the
+		// target-color repair, whose subinstances need per-edge slack.
+		rep, aerr := c.augmentFallback(id)
+		switch {
+		case aerr == nil:
+			c.augments++
+			c.augmentedEdges += uint64(rep.Recolored)
+			c.inserts++
+			return id, rep.Color, nil
+		case !errors.Is(aerr, vizing.ErrPaletteTooSmall):
+			// Anything but "no free color" is an internal defect (a
+			// corrupted coloring, a solver bug): surface it loudly instead
+			// of masking it as the documented — and at palettes ≥ Δ+1
+			// provably impossible — palette rejection.
+			err = fmt.Errorf("dynamic: augmentation fallback failed: %w", aerr)
+		}
+	}
 	if err != nil {
 		// Roll the insert back: tombstone the new edge and restore degrees;
 		// region colors were not touched (repairRegion writes only on
-		// success). The edge itself stays in the append-only graph as a
-		// tombstone, exactly as after a delete.
+		// success, and a failed augmentation undoes itself). The edge itself
+		// stays in the append-only graph as a tombstone, exactly as after a
+		// delete.
 		c.active[id] = false
 		c.deg[u]--
 		c.deg[v]--
@@ -324,6 +408,15 @@ func (c *Coloring) Insert(u, v int) (graph.EdgeID, int, error) {
 	c.repairs++
 	c.inserts++
 	return id, col, nil
+}
+
+// augmentFallback colors the just-inserted, still uncolored edge e by one
+// Vizing augmentation (see internal/vizing). On error nothing is written.
+func (c *Coloring) augmentFallback(e graph.EdgeID) (vizing.Report, error) {
+	if c.aug == nil {
+		c.aug = vizing.NewAugmenter()
+	}
+	return c.aug.Augment(c.g, c.active, c.colors, c.palette, e)
 }
 
 // commitInsert materializes the edge in the overlay: revive a tombstone or
@@ -342,11 +435,14 @@ func (c *Coloring) commitInsert(id graph.EdgeID, exists bool, u, v int) graph.Ed
 }
 
 // Delete tombstones the active edge {u, v} and frees its color. Removing an
-// edge never breaks properness, so no repair runs.
+// edge never breaks properness, so no repair runs. Deleting an edge that is
+// not active — already tombstoned (a double delete) or never inserted —
+// fails with ErrEdgeInactive and changes nothing: the color a tombstone
+// freed on its first delete is never freed again.
 func (c *Coloring) Delete(u, v int) error {
 	id, ok := c.g.HasEdge(u, v)
 	if !ok || !c.active[id] {
-		return fmt.Errorf("dynamic: no active edge {%d,%d}", u, v)
+		return fmt.Errorf("no active edge {%d,%d}: %w", u, v, ErrEdgeInactive)
 	}
 	c.active[id] = false
 	c.colors[id] = -1
@@ -370,6 +466,14 @@ func (c *Coloring) repairRegion(e graph.EdgeID) (int, error) {
 			col, err := c.tryRepair(e, t, full)
 			if err == nil {
 				return col, nil
+			}
+			// A cancelled or expired batch is an aborted insert, not an
+			// infeasible one: stop trying targets and surface the context
+			// error itself, so the caller neither reports palette
+			// exhaustion nor falls through to the augmentation tier (which
+			// would let a dead job keep "succeeding").
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return -1, err
 			}
 			lastErr = err
 		}

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -269,5 +270,41 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(g, []int{0, 1, 0}, Options{Palette: 2}); err == nil {
 		t.Fatal("fixed palette without Repairer accepted")
+	}
+}
+
+// TestInsertPropagatesContextError: a Repairer failing with a context error
+// means the batch was cancelled, not that the palette is infeasible — the
+// insert must surface that error itself (not ErrPaletteExhausted), must not
+// fall through to the augmentation tier, and must roll back cleanly.
+func TestInsertPropagatesContextError(t *testing.T) {
+	// Path 0-1-2 colored {0,1} under palette 2: inserting {0,2} finds no
+	// free color (0 taken at node 0, 1 taken at node 2), so the repair
+	// tier fires.
+	g := graph.Path(3)
+	calls := 0
+	cancelled := func(sub *graph.Graph, partial []int, lists [][]int, palette int) ([]int, error) {
+		calls++
+		return nil, fmt.Errorf("repair job: %w", context.Canceled)
+	}
+	c, err := New(g, []int{0, 1}, Options{Palette: 2, Repair: cancelled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.Insert(0, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if errors.Is(err, ErrPaletteExhausted) {
+		t.Fatalf("context error misreported as palette exhaustion: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("cancelled repair retried %d times; must abort after the first target", calls)
+	}
+	if st := c.Stats(); st.Inserts != 0 || st.Augmentations != 0 {
+		t.Fatalf("cancelled insert left traces: %+v", st)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
 	}
 }

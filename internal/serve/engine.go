@@ -22,6 +22,12 @@ type jobEngine struct {
 // Name implements local.Engine.
 func (e *jobEngine) Name() string { return "serve" }
 
+// Interrupt exposes the job context's liveness to non-protocol solvers
+// (distec's sequential vizing algorithm): they never execute a Run this
+// engine could thread its per-round Interrupt hook into, so they poll this
+// directly and a job's cancellation or deadline still aborts them.
+func (e *jobEngine) Interrupt() error { return e.ctx.Err() }
+
 // Run implements local.Engine.
 func (e *jobEngine) Run(t *local.Topology, f local.Factory, opts *local.Options) (local.Stats, error) {
 	p := e.p

@@ -1,0 +1,428 @@
+// Package vizing implements the constructive core of Vizing's theorem: a
+// fan-recoloring plus alternating-path augmentation routine that colors one
+// uncolored edge of a properly edge-colored graph, under any palette of at
+// least Δ+1 colors — and, iterated over all edges, a sequential (Δ+1)-edge
+// coloring algorithm.
+//
+// This is the regime the repository's LOCAL algorithms cannot reach: their
+// feasibility bound is the slack condition |palette| > deg(e) per edge
+// (palette > Δ̄ ≈ 2Δ uniformly), while Vizing's theorem guarantees Δ+1
+// colors always suffice. The price is sequentiality: an augmentation is an
+// inherently global operation (its alternating path may cross the whole
+// graph), which is exactly why the paper's distributed setting stops at
+// 2Δ−1. Here the routine serves two roles:
+//
+//   - the static "vizing" algorithm of distec.ColorEdges, the only solver
+//     accepting palettes in [Δ+1, Δ̄];
+//   - the fallback tier of the dynamic layer (internal/dynamic): an insert
+//     whose target-color conflict-region repair fails is colored by one
+//     augmentation, so palettes ≥ Δ+1 never reject an insert.
+//
+// One augmentation of edge e = {u, v}:
+//
+//  1. Build the maximal fan v = v₀, v₁, …, v_k around u: v_{i+1} is the
+//     u-neighbor whose edge {u, v_{i+1}} holds α_i, a chosen free color of
+//     v_i. The α_0 … α_{k-1} are pairwise distinct (each selects the next,
+//     distinct fan vertex).
+//  2. If α_k is also free at u, rotate the fan — shift color α_i onto
+//     {u, v_i} for i < k — and give {u, v_k} the color α_k.
+//  3. Otherwise the u-edge holding d := α_k is {u, v_j} for some j ≤ k
+//     already in the fan (maximality), with α_{j-1} = d. Let c be a free
+//     color of u and flip a maximal cd-alternating (Kempe) path:
+//     – If the cd-path from u does not end at v_{j-1}, flip it (d becomes
+//     free at u; v_{j-1} is untouched), rotate the prefix v₀ … v_{j-1},
+//     and give {u, v_{j-1}} the color d.
+//     – If it does end at v_{j-1}, then v_k lies on a different cd-component;
+//     flip the cd-path from v_k (c becomes free at v_k; u and v_{j-1} are
+//     untouched), rotate the whole fan, and give {u, v_k} the color c.
+//
+// Every free-color requirement is met when palette ≥ Δ+1 (a vertex of
+// degree ≤ Δ with an uncolored incident edge misses at least one of Δ+1
+// colors); a failing requirement surfaces as ErrPaletteTooSmall and nothing
+// is written. The cost is O(fan·(Δ+palette) + path·palette): local except
+// for the flipped path.
+package vizing
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/distec/distec/internal/graph"
+	"github.com/distec/distec/internal/local"
+)
+
+// ErrPaletteTooSmall marks augmentations rejected because some vertex the
+// fan or path construction needs has no free color — possible only when the
+// palette is smaller than Δ+1 on the touched region. The coloring is
+// unchanged.
+var ErrPaletteTooSmall = errors.New("vizing: no free color (palette below Δ+1 on the augmentation region)")
+
+// Report describes one successful augmentation.
+type Report struct {
+	// Color is the color the target edge received.
+	Color int
+	// Recolored counts the previously colored edges whose colors changed
+	// (fan rotation plus path flip) — the locality bill of the augmentation.
+	Recolored int
+	// Fan is the fan length (≥ 1); Path the flipped alternating path length.
+	Fan, Path int
+}
+
+// Augmenter performs single-edge Vizing augmentations over a caller-owned
+// coloring view. It holds only reusable scratch (per-vertex color tables,
+// fan and path buffers), so one Augmenter amortizes allocations across many
+// calls; the graph, overlay, and colors are re-read on every call, which
+// keeps it correct under callers (like the dynamic layer) that mutate the
+// coloring between calls by other means. Not safe for concurrent use.
+type Augmenter struct {
+	// Per-call view of the caller's coloring (set by bind).
+	g       *graph.Graph
+	active  []bool
+	colors  []int
+	palette int
+
+	// at[v][col] = EdgeID+1 of the active edge holding col at v (0 = none);
+	// valid while atEpoch[v] == epoch, rebuilt lazily per call — the stamped
+	// idiom of the repository's other color scratches.
+	at      [][]int32
+	atEpoch []int
+	epoch   int
+
+	// Fan scratch: vertices v_0…v_k, their u-edges, and the chosen free
+	// colors α_0…α_k; fanIdx maps a fan vertex to its index.
+	fanVert []int
+	fanEdge []graph.EdgeID
+	fanFree []int
+	fanIdx  map[int]int
+
+	path []graph.EdgeID
+	undo []undoRec
+}
+
+type undoRec struct {
+	e   graph.EdgeID
+	old int
+}
+
+// NewAugmenter returns an empty Augmenter; scratch grows on first use.
+func NewAugmenter() *Augmenter {
+	return &Augmenter{fanIdx: make(map[int]int)}
+}
+
+// bind points the scratch at the caller's coloring and invalidates every
+// color table (epoch bump).
+func (a *Augmenter) bind(g *graph.Graph, active []bool, colors []int, palette int) {
+	a.g, a.active, a.colors, a.palette = g, active, colors, palette
+	for len(a.atEpoch) < g.N() {
+		a.atEpoch = append(a.atEpoch, 0)
+		a.at = append(a.at, nil)
+	}
+	a.epoch++
+}
+
+// table returns v's color table for the current call, building it on first
+// touch: O(palette + deg(v)).
+func (a *Augmenter) table(v int) []int32 {
+	t := a.at[v]
+	if len(t) < a.palette {
+		t = make([]int32, a.palette)
+		a.at[v] = t
+	}
+	t = t[:a.palette]
+	if a.atEpoch[v] != a.epoch {
+		a.atEpoch[v] = a.epoch
+		for i := range t {
+			t[i] = 0
+		}
+		for _, f := range a.g.Incident(v) {
+			if a.active[f] {
+				if c := a.colors[f]; c >= 0 && c < a.palette {
+					t[c] = int32(f) + 1
+				}
+			}
+		}
+	}
+	return t
+}
+
+// free returns a free color of v (the smallest), or −1 if v holds all of
+// them.
+func (a *Augmenter) free(v int) int {
+	for c, id := range a.table(v) {
+		if id == 0 {
+			return c
+		}
+	}
+	return -1
+}
+
+// walk follows the maximal alternating path from start whose first edge
+// holds c1, then c2, c1, … It fills a.path with the traversed edges and
+// returns the terminal vertex. Callers guarantee c2 (the "other" color) is
+// free at start, so the walk cannot close a cycle in a proper coloring; the
+// iteration bound turns an improper input into an error instead of a hang.
+func (a *Augmenter) walk(start, c1, c2 int) (int, error) {
+	a.path = a.path[:0]
+	cur, want, other := start, c1, c2
+	for steps := 0; ; steps++ {
+		if steps > a.g.M() {
+			return -1, fmt.Errorf("vizing: %d/%d-alternating walk from %d exceeds m=%d edges (improper input coloring?)", c1, c2, start, a.g.M())
+		}
+		fe := a.table(cur)[want]
+		if fe == 0 {
+			return cur, nil
+		}
+		f := graph.EdgeID(fe - 1)
+		a.path = append(a.path, f)
+		cur = a.g.OtherEnd(f, cur)
+		want, other = other, want
+	}
+}
+
+// Augment colors the active, uncolored edge e from the palette {0, …,
+// palette−1} by one fan/path augmentation, mutating colors in place. The
+// rest of the active coloring must be proper; on any error the coloring is
+// unchanged. Augmentations are deterministic: the fan, the chosen free
+// colors, and the flipped path depend only on the input coloring.
+func (a *Augmenter) Augment(g *graph.Graph, active []bool, colors []int, palette int, e graph.EdgeID) (Report, error) {
+	if int(e) < 0 || int(e) >= g.M() {
+		return Report{}, fmt.Errorf("vizing: edge %d out of range [0,%d)", e, g.M())
+	}
+	if !active[e] {
+		return Report{}, fmt.Errorf("vizing: edge %d is not active", e)
+	}
+	if colors[e] >= 0 {
+		return Report{}, fmt.Errorf("vizing: edge %d already colored %d", e, colors[e])
+	}
+	if palette < 1 {
+		return Report{}, fmt.Errorf("vizing: empty palette")
+	}
+	a.bind(g, active, colors, palette)
+	u, v0 := g.Endpoints(e)
+
+	// Build the maximal fan around u, starting at v0.
+	a.fanVert = append(a.fanVert[:0], v0)
+	a.fanEdge = append(a.fanEdge[:0], e)
+	a.fanFree = a.fanFree[:0]
+	clear(a.fanIdx)
+	a.fanIdx[v0] = 0
+	alpha := a.free(v0)
+	if alpha < 0 {
+		return Report{}, fmt.Errorf("%w: vertex %d", ErrPaletteTooSmall, v0)
+	}
+	a.fanFree = append(a.fanFree, alpha)
+
+	var (
+		rot    int            // rotate fan prefix 0…rot
+		final  int            // color assigned to fanEdge[rot]
+		flip   []graph.EdgeID // alternating path to flip (nil: none)
+		fc, fd int            // the flip's color pair
+	)
+	ut := a.table(u)
+fan:
+	for {
+		d := a.fanFree[len(a.fanFree)-1]
+		fe := ut[d]
+		if fe == 0 {
+			// Case 2: α_k free at u too — rotate the whole fan.
+			rot, final = len(a.fanVert)-1, d
+			break fan
+		}
+		w := g.OtherEnd(graph.EdgeID(fe-1), u)
+		j, seen := a.fanIdx[w]
+		if !seen {
+			// Extend the fan through the α-colored edge.
+			a.fanIdx[w] = len(a.fanVert)
+			a.fanVert = append(a.fanVert, w)
+			a.fanEdge = append(a.fanEdge, graph.EdgeID(fe-1))
+			if alpha = a.free(w); alpha < 0 {
+				return Report{}, fmt.Errorf("%w: vertex %d", ErrPaletteTooSmall, w)
+			}
+			a.fanFree = append(a.fanFree, alpha)
+			continue
+		}
+		// Case 3: the d-edge of u leads back into the fan (w = v_j, so
+		// α_{j-1} = d). Flip a maximal cd-alternating path.
+		c := a.free(u)
+		if c < 0 {
+			return Report{}, fmt.Errorf("%w: vertex %d", ErrPaletteTooSmall, u)
+		}
+		term, err := a.walk(u, d, c)
+		if err != nil {
+			return Report{}, err
+		}
+		if term != a.fanVert[j-1] {
+			// The cd-path from u misses v_{j-1}: flipping it frees d at u
+			// while v_{j-1} keeps d free. Rotate the prefix up to v_{j-1}.
+			flip, fc, fd = a.path, c, d
+			rot, final = j-1, d
+			break fan
+		}
+		// The cd-path from u ends at v_{j-1}; v_k then lies on a different
+		// cd-component. Flipping the path from v_k frees c there while u
+		// (with c free) and v_{j-1} are untouched: rotate the whole fan and
+		// use c.
+		k := len(a.fanVert) - 1
+		if _, err := a.walk(a.fanVert[k], c, d); err != nil {
+			return Report{}, err
+		}
+		flip, fc, fd = a.path, c, d
+		rot, final = k, c
+		break fan
+	}
+
+	// Apply: flip the path, then rotate the fan prefix. The two edge sets
+	// are disjoint (rotated fan edges hold colors outside {c, d}), so order
+	// within each step does not matter; all decisions were made above, so a
+	// failed post-check can undo cleanly.
+	a.undo = a.undo[:0]
+	set := func(f graph.EdgeID, col int) {
+		a.undo = append(a.undo, undoRec{f, a.colors[f]})
+		a.colors[f] = col
+	}
+	for _, f := range flip {
+		set(f, fc+fd-a.colors[f])
+	}
+	for i := 0; i < rot; i++ {
+		set(a.fanEdge[i], a.fanFree[i])
+	}
+	set(a.fanEdge[rot], final)
+
+	if err := a.checkTouched(); err != nil {
+		for i := len(a.undo) - 1; i >= 0; i-- {
+			a.colors[a.undo[i].e] = a.undo[i].old
+		}
+		return Report{}, err
+	}
+	return Report{
+		Color:     a.colors[e],     // α_0 after a rotation, final for the trivial fan
+		Recolored: len(a.undo) - 1, // every write but e itself recolored a colored edge
+		Fan:       len(a.fanVert),
+		Path:      len(flip),
+	}, nil
+}
+
+// checkTouched verifies every edge the augmentation wrote: in palette, and
+// proper against all active neighbors (which reads the committed colors, so
+// touched-touched pairs are covered too). It is the same defensive posture
+// as the dynamic layer's repair commit: a bug here must be a loud error,
+// never silent corruption. O(touched·Δ).
+func (a *Augmenter) checkTouched() error {
+	for _, rec := range a.undo {
+		f := rec.e
+		col := a.colors[f]
+		if col < 0 || col >= a.palette {
+			return fmt.Errorf("vizing: internal error: edge %d left with color %d outside palette [0,%d)", f, col, a.palette)
+		}
+		var conflict error
+		a.g.ForEachEdgeNeighbor(f, func(nb graph.EdgeID) {
+			if conflict == nil && a.active[nb] && a.colors[nb] == col {
+				conflict = fmt.Errorf("vizing: internal error: edges %d and %d both colored %d", f, nb, col)
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// Solve colors the active edges of a list instance sequentially: a greedy
+// pass over the lists in EdgeID order, then one Augment per edge the greedy
+// pass could not serve. On instances satisfying the (deg(e)+1) slack
+// invariant — every validated ColorEdgesList / ExtendColoring instance —
+// the greedy pass alone completes (each edge's list exceeds its conflict
+// degree), and the output respects the lists. Augmentation recolors
+// neighbors with arbitrary palette colors, so it requires the full-palette
+// uniform instance; with palette ≥ Δ+1 it always succeeds (Vizing's
+// theorem), which is the one regime below the slack bound.
+//
+// Solve is not a LOCAL protocol and takes no engine: it reports
+// Stats.Rounds as the number of augmentations performed and Stats.Messages
+// as the number of color assignments written (greedy picks, rotations, and
+// path flips) — the sequential work actually done. interrupt (nil to
+// disable) is polled periodically so callers with deadlines — the serving
+// pool binds it to the job context — can abort a large run between edges;
+// it never fires mid-augmentation, so an aborted run has written only
+// complete, proper augmentations.
+func Solve(g *graph.Graph, active []bool, lists [][]int, palette int, interrupt func() error) ([]int, local.Stats, error) {
+	m := g.M()
+	colors := make([]int, m)
+	for i := range colors {
+		colors[i] = -1
+	}
+	used := make([]int, palette)
+	stamp := 0
+	var deferred []graph.EdgeID
+	var writes int64
+	// interruptEvery trades poll overhead against abort latency; the greedy
+	// pass touches ~deg(e) edges per step, so this is a few thousand edge
+	// visits between polls.
+	const interruptEvery = 1024
+	poll := func(step int) error {
+		if interrupt != nil && step%interruptEvery == 0 {
+			return interrupt()
+		}
+		return nil
+	}
+	for e := 0; e < m; e++ {
+		if !active[e] {
+			continue
+		}
+		if err := poll(e); err != nil {
+			return nil, local.Stats{}, err
+		}
+		stamp++
+		g.ForEachEdgeNeighbor(graph.EdgeID(e), func(f graph.EdgeID) {
+			if active[f] {
+				if c := colors[f]; c >= 0 && c < palette {
+					used[c] = stamp
+				}
+			}
+		})
+		pick := -1
+		for _, c := range lists[e] {
+			if c >= 0 && c < palette && used[c] != stamp {
+				pick = c
+				break
+			}
+		}
+		if pick < 0 {
+			deferred = append(deferred, graph.EdgeID(e))
+			continue
+		}
+		colors[e] = pick
+		writes++
+	}
+	stats := local.Stats{}
+	if len(deferred) == 0 {
+		stats.Messages = writes
+		return colors, stats, nil
+	}
+	// Augmentation may recolor any edge it reaches, so every active edge
+	// must allow the full palette.
+	for e := 0; e < m; e++ {
+		if active[e] && len(lists[e]) != palette {
+			return nil, stats, fmt.Errorf("vizing: greedy left edge %d uncolored but edge %d allows only %d/%d colors: augmentation needs the uniform full-palette instance", deferred[0], e, len(lists[e]), palette)
+		}
+	}
+	aug := NewAugmenter()
+	for _, e := range deferred {
+		// One augmentation is orders of magnitude heavier than a greedy
+		// step (O(fan·Δ + path), path up to m), so here the seam is polled
+		// every iteration — the poll is noise next to the work it bounds.
+		if interrupt != nil {
+			if err := interrupt(); err != nil {
+				return nil, stats, err
+			}
+		}
+		rep, err := aug.Augment(g, active, colors, palette, e)
+		if err != nil {
+			return nil, stats, fmt.Errorf("vizing: augmenting edge %d: %w", e, err)
+		}
+		stats.Rounds++
+		writes += int64(1 + rep.Recolored)
+	}
+	stats.Messages = writes
+	return colors, stats, nil
+}

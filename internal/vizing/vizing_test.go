@@ -1,0 +1,290 @@
+package vizing
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/distec/distec/internal/graph"
+	"github.com/distec/distec/internal/verify"
+)
+
+// allActive marks every edge of g active.
+func allActive(g *graph.Graph) []bool {
+	a := make([]bool, g.M())
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+// fullLists gives every edge the full palette {0..c−1}.
+func fullLists(g *graph.Graph, c int) [][]int {
+	pal := make([]int, c)
+	for i := range pal {
+		pal[i] = i
+	}
+	lists := make([][]int, g.M())
+	for e := range lists {
+		lists[e] = pal
+	}
+	return lists
+}
+
+// checkColoring fails the test unless colors is a proper coloring of g's
+// active edges within [0, palette).
+func checkColoring(t *testing.T, g *graph.Graph, active []bool, colors []int, palette int) {
+	t.Helper()
+	if err := verify.EdgeColoring(g, active, colors); err != nil {
+		t.Fatalf("improper coloring: %v", err)
+	}
+	for e, c := range colors {
+		if active[e] && (c < 0 || c >= palette) {
+			t.Fatalf("edge %d colored %d outside palette [0,%d)", e, c, palette)
+		}
+	}
+}
+
+// TestSolveDeltaPlusOne is the core guarantee: every workload family gets a
+// verified proper coloring from exactly Δ+1 colors — below the slack bound
+// Δ̄+1 the LOCAL solvers need.
+func TestSolveDeltaPlusOne(t *testing.T) {
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle-even", graph.Cycle(64)},
+		{"cycle-odd", graph.Cycle(63)},
+		{"complete", graph.Complete(9)},
+		{"complete-even", graph.Complete(8)},
+		{"regular", graph.RandomRegular(48, 6, 17)},
+		{"bipartite", graph.CompleteBipartite(9, 7)},
+		{"gnp", graph.GNP(40, 0.12, 23)},
+		{"tree", graph.RandomTree(50, 29)},
+		{"powerlaw", graph.PowerLaw(60, 2.5, 6, 3)},
+		{"star", graph.CompleteBipartite(1, 12)},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			palette := w.g.MaxDegree() + 1
+			active := allActive(w.g)
+			colors, stats, err := Solve(w.g, active, fullLists(w.g, palette), palette, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkColoring(t, w.g, active, colors, palette)
+			if stats.Messages < int64(w.g.M()) {
+				t.Fatalf("stats report %d assignments for %d edges", stats.Messages, w.g.M())
+			}
+			t.Logf("Δ+1=%d colors, %d augmentations", palette, stats.Rounds)
+		})
+	}
+}
+
+// TestSolveNeedsAugmentation pins that a tight palette actually exercises
+// the fan/path machinery rather than being absorbed by the greedy pass.
+func TestSolveNeedsAugmentation(t *testing.T) {
+	g := graph.Complete(9) // Δ=8, class 1 would need 9 = Δ+1 colors
+	palette := g.MaxDegree() + 1
+	_, stats, err := Solve(g, allActive(g), fullLists(g, palette), palette, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds == 0 {
+		t.Fatal("K9 at Δ+1 colored without a single augmentation; the greedy pass cannot do that")
+	}
+}
+
+// TestSolveRespectsLists: on a slack-valid list instance the greedy pass
+// completes alone and the output stays inside the lists.
+func TestSolveRespectsLists(t *testing.T) {
+	g := graph.RandomRegular(36, 5, 41)
+	dbar := g.MaxEdgeDegree()
+	c := dbar + 3
+	lists := make([][]int, g.M())
+	for e := range lists {
+		// dbar+1 distinct colors at a per-edge offset, ascending.
+		in := make([]bool, c)
+		for k := 0; k <= dbar; k++ {
+			in[(e*3+k)%c] = true
+		}
+		l := make([]int, 0, dbar+1)
+		for col := 0; col < c; col++ {
+			if in[col] {
+				l = append(l, col)
+			}
+		}
+		lists[e] = l
+	}
+	active := allActive(g)
+	colors, stats, err := Solve(g, active, lists, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkColoring(t, g, active, colors, c)
+	if err := verify.ListRespecting(g, active, lists, colors); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 0 {
+		t.Fatalf("slack instance augmented %d times; greedy must complete alone", stats.Rounds)
+	}
+}
+
+// TestSolvePaletteTooSmall: an odd cycle has chromatic index 3 = Δ+1; at
+// palette Δ = 2 the augmentation must refuse with the typed error and
+// cannot invent a coloring that does not exist.
+func TestSolvePaletteTooSmall(t *testing.T) {
+	g := graph.Cycle(9)
+	_, _, err := Solve(g, allActive(g), fullLists(g, 2), 2, nil)
+	if !errors.Is(err, ErrPaletteTooSmall) {
+		t.Fatalf("want ErrPaletteTooSmall, got %v", err)
+	}
+}
+
+// TestSolveInterrupt: a failing liveness check aborts Solve between edges
+// — the seam the serving pool binds to the job context.
+func TestSolveInterrupt(t *testing.T) {
+	g := graph.RandomRegular(64, 6, 3)
+	wantErr := errors.New("job deadline")
+	_, _, err := Solve(g, allActive(g), fullLists(g, 7), 7, func() error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("want the interrupt error, got %v", err)
+	}
+}
+
+// TestSolveRejectsPartialListsNeedingAugmentation: when the greedy pass
+// leaves an edge uncolored but some active list is not the full palette,
+// augmentation may not run (it recolors neighbors with arbitrary palette
+// colors) — Solve must refuse instead of breaking a list constraint.
+func TestSolveRejectsPartialListsNeedingAugmentation(t *testing.T) {
+	g := graph.Cycle(5)
+	lists := fullLists(g, 2)
+	lists[1] = []int{1} // valid for e1 itself, but bars augmentation
+	_, _, err := Solve(g, allActive(g), lists, 2, nil)
+	if err == nil || !strings.Contains(err.Error(), "uniform full-palette") {
+		t.Fatalf("want the non-uniform-instance refusal, got %v", err)
+	}
+}
+
+// TestSolveSubsetActive colors only a subset of edges: inactive edges are
+// invisible (no color, no conflict).
+func TestSolveSubsetActive(t *testing.T) {
+	g := graph.Complete(7)
+	active := allActive(g)
+	for e := 0; e < g.M(); e += 3 {
+		active[e] = false
+	}
+	palette := g.MaxDegree() + 1
+	colors, _, err := Solve(g, active, fullLists(g, palette), palette, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkColoring(t, g, active, colors, palette)
+	for e, a := range active {
+		if !a && colors[e] != -1 {
+			t.Fatalf("inactive edge %d colored %d", e, colors[e])
+		}
+	}
+}
+
+// TestAugmentUncolorRecolor is the torture loop behind the dynamic fallback:
+// starting from a full Δ+1 coloring, repeatedly uncolor a pseudo-random edge
+// and re-augment it, verifying properness after every single augmentation.
+// The churn drives the augmenter through all three fan cases.
+func TestAugmentUncolorRecolor(t *testing.T) {
+	for _, w := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"complete", graph.Complete(10)},
+		{"regular", graph.RandomRegular(40, 7, 5)},
+		{"gnp", graph.GNP(36, 0.2, 11)},
+	} {
+		t.Run(w.name, func(t *testing.T) {
+			g := w.g
+			palette := g.MaxDegree() + 1
+			active := allActive(g)
+			colors, _, err := Solve(g, active, fullLists(g, palette), palette, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aug := NewAugmenter()
+			s := uint64(99)
+			rand := func() uint64 {
+				s += 0x9e3779b97f4a7c15
+				z := s
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+				return z ^ (z >> 31)
+			}
+			fans, paths := 0, 0
+			for i := 0; i < 400; i++ {
+				e := graph.EdgeID(rand() % uint64(g.M()))
+				old := colors[e]
+				colors[e] = -1
+				rep, err := aug.Augment(g, active, colors, palette, e)
+				if err != nil {
+					t.Fatalf("iteration %d, edge %d (was %d): %v", i, e, old, err)
+				}
+				if colors[e] != rep.Color {
+					t.Fatalf("report color %d but edge holds %d", rep.Color, colors[e])
+				}
+				checkColoring(t, g, active, colors, palette)
+				if rep.Fan > 1 {
+					fans++
+				}
+				if rep.Path > 0 {
+					paths++
+				}
+			}
+			if fans == 0 || paths == 0 {
+				t.Fatalf("churn too tame: %d multi-vertex fans, %d path flips — the interesting cases went untested", fans, paths)
+			}
+		})
+	}
+}
+
+// TestAugmentRejectsBadTarget pins the input contract errors.
+func TestAugmentRejectsBadTarget(t *testing.T) {
+	g := graph.Cycle(8)
+	active := allActive(g)
+	colors, _, err := Solve(g, active, fullLists(g, 3), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := NewAugmenter()
+	if _, err := aug.Augment(g, active, colors, 3, 0); err == nil {
+		t.Fatal("augmented an already-colored edge")
+	}
+	if _, err := aug.Augment(g, active, colors, 3, graph.EdgeID(g.M())); err == nil {
+		t.Fatal("augmented an out-of-range edge")
+	}
+	active[2] = false
+	colors[2] = -1
+	if _, err := aug.Augment(g, active, colors, 3, 2); err == nil {
+		t.Fatal("augmented an inactive edge")
+	}
+}
+
+// TestAugmentLeavesColoringIntactOnFailure: a failing augmentation must not
+// write anything.
+func TestAugmentLeavesColoringIntactOnFailure(t *testing.T) {
+	g := graph.Cycle(9)
+	active := allActive(g)
+	// Proper partial 2-coloring of the even prefix, last edge uncolored.
+	colors := make([]int, g.M())
+	for e := 0; e < g.M()-1; e++ {
+		colors[e] = e % 2
+	}
+	colors[g.M()-1] = -1
+	before := append([]int(nil), colors...)
+	aug := NewAugmenter()
+	if _, err := aug.Augment(g, active, colors, 2, graph.EdgeID(g.M()-1)); !errors.Is(err, ErrPaletteTooSmall) {
+		t.Fatalf("want ErrPaletteTooSmall, got %v", err)
+	}
+	for e := range colors {
+		if colors[e] != before[e] {
+			t.Fatalf("failed augmentation mutated edge %d: %d -> %d", e, before[e], colors[e])
+		}
+	}
+}

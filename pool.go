@@ -174,7 +174,7 @@ var errFlightAbandoned = errors.New("distec: cache flight abandoned")
 
 // colorUniform computes a uniform ColorEdges request on the pool.
 func (p *Pool) colorUniform(ctx context.Context, g *Graph, opts Options) (*Result, error) {
-	in, err := uniformInstance(g, opts.Palette)
+	in, err := uniformInstanceFor(g, opts)
 	if err != nil {
 		return nil, err
 	}

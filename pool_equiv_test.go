@@ -8,15 +8,18 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/distec/distec/internal/local"
 )
 
 // TestPoolEquivalence is the serving-layer counterpart of
-// TestEngineEquivalence: at least 32 simultaneous jobs — all five
-// algorithms, mixed sizes spanning every pool route, some cancelled mid-run
-// — through ONE shared pool, under the race detector in CI. Every job that
-// completes must verify and be bit-identical (colors, rounds, messages) to
-// a one-shot sequential rerun; every cancelled job must fail with its
-// context's error.
+// TestEngineEquivalence: at least 32 simultaneous jobs — all six
+// algorithms (the sequential vizing included: its jobs run inside the
+// pool's admission/accounting without ever touching the lanes), mixed sizes
+// spanning every pool route, some cancelled mid-run — through ONE shared
+// pool, under the race detector in CI. Every job that completes must verify
+// and be bit-identical (colors, rounds, messages) to a one-shot sequential
+// rerun; every cancelled job must fail with its context's error.
 func TestPoolEquivalence(t *testing.T) {
 	// SmallJob 300 forces the larger workloads onto the sharded routes
 	// (fanout with 4 lanes) while the small ones take the sequential lane.
@@ -25,7 +28,7 @@ func TestPoolEquivalence(t *testing.T) {
 	pool := NewPool(PoolOptions{Workers: 4, QueueDepth: 48, SmallJob: 300, CacheSize: -1})
 	defer pool.Close()
 
-	algorithms := []Algorithm{BKO, BKOTheory, PR01, GreedyClasses, Randomized}
+	algorithms := []Algorithm{BKO, BKOTheory, PR01, GreedyClasses, Randomized, Vizing}
 	graphs := []*Graph{
 		Cycle(64),
 		RandomRegular(48, 6, 17),
@@ -134,6 +137,70 @@ func TestPoolEquivalence(t *testing.T) {
 	}
 	if s.SequentialRuns == 0 || s.FanoutRuns == 0 {
 		t.Fatalf("both routes should have been exercised: %+v", s)
+	}
+}
+
+// fakeInterruptEngine is a local.Engine that also exposes the liveness seam
+// vizing polls; Run is never reached by a vizing job.
+type fakeInterruptEngine struct{ err error }
+
+func (f fakeInterruptEngine) Name() string { return "fake-interrupt" }
+func (f fakeInterruptEngine) Run(*local.Topology, local.Factory, *local.Options) (local.Stats, error) {
+	return local.Stats{}, nil
+}
+func (f fakeInterruptEngine) Interrupt() error { return f.err }
+
+// TestVizingInterruptSeam deterministically pins the liveness plumbing:
+// colorOn must poll an engine-provided Interrupt during a vizing run (the
+// algorithm executes no protocol Run the per-round hook could stop) and
+// surface its error; an engine without the seam — or with a healthy one —
+// completes normally.
+func TestVizingInterruptSeam(t *testing.T) {
+	g := RandomRegular(2000, 8, 3)
+	in, err := uniformInstanceFor(g, Options{Algorithm: Vizing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("job interrupted")
+	if _, err := colorOn(g, in, Options{Algorithm: Vizing}, fakeInterruptEngine{err: sentinel}); !errors.Is(err, sentinel) {
+		t.Fatalf("interrupting engine: got %v, want the sentinel", err)
+	}
+	if _, err := colorOn(g, in, Options{Algorithm: Vizing}, fakeInterruptEngine{}); err != nil {
+		t.Fatalf("healthy seam: %v", err)
+	}
+	if _, err := colorOn(g, in, Options{Algorithm: Vizing}, local.Sequential); err != nil {
+		t.Fatalf("engine without the seam: %v", err)
+	}
+}
+
+// TestPoolVizingCancellation drives the same seam through the pool: a
+// deadline expiring mid-run (the job is admitted long before 5 ms elapse,
+// and a 2·10⁵-edge vizing run takes far longer) aborts the job with the
+// context's error instead of letting it occupy its admission slot to
+// completion.
+func TestPoolVizingCancellation(t *testing.T) {
+	pool := NewPool(PoolOptions{Workers: 1, CacheSize: -1})
+	defer pool.Close()
+	big := RandomRegular(50000, 8, 3) // 2·10⁵ edges: tens of ms of vizing work
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := pool.ColorEdges(ctx, big, Options{Algorithm: Vizing}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-run deadline returned %v, want DeadlineExceeded", err)
+	}
+	// A live context still completes bit-identically.
+	g := RandomRegular(2000, 8, 3)
+	res, err := pool.ColorEdges(context.Background(), g, Options{Algorithm: Vizing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ColorEdges(g, Options{Algorithm: Vizing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range want.Colors {
+		if res.Colors[e] != want.Colors[e] {
+			t.Fatalf("edge %d: pool %d, one-shot %d", e, res.Colors[e], want.Colors[e])
+		}
 	}
 }
 
