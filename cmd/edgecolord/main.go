@@ -48,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,6 +58,7 @@ import (
 	"time"
 
 	"github.com/distec/distec"
+	"github.com/distec/distec/internal/persist"
 )
 
 func main() {
@@ -66,6 +68,11 @@ func main() {
 		queue   = flag.Int("queue", 0, "pool queue depth (0: 4x workers)")
 		small   = flag.Int("small", 0, "small-job entity threshold (0: default)")
 		cache   = flag.Int("cache", 0, "result cache entries (0: default, <0: disabled)")
+
+		dataDir    = flag.String("data-dir", "", "persist dynamic sessions (snapshot + WAL) under this directory and recover them on boot")
+		fsyncMode  = flag.String("fsync", "always", "session durability: always (fsync per batch, survives OS crashes) or none (kernel write per batch, survives process crashes)")
+		walCompact = flag.Int64("wal-compact-bytes", persist.DefaultCompactBytes, "compact a session (fresh snapshot, retired WAL) once its WAL exceeds this size")
+		sessionTTL = flag.Duration("session-ttl", 30*time.Minute, "evict dynamic sessions idle longer than this (0: never evict)")
 
 		drive    = flag.String("drive", "", "drive mode: base URL of a running daemon")
 		rate     = flag.Float64("rate", 20, "drive: requests per second")
@@ -91,15 +98,36 @@ func main() {
 		return
 	}
 
+	if *fsyncMode != "always" && *fsyncMode != "none" {
+		fmt.Fprintf(os.Stderr, "edgecolord: unknown -fsync mode %q (want always or none)\n", *fsyncMode)
+		os.Exit(2)
+	}
 	pool := distec.NewPool(distec.PoolOptions{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		SmallJob:   *small,
 		CacheSize:  *cache,
 	})
+	// Recovery runs before the listener opens: every persisted session is
+	// live again — WAL replayed, verified, re-registered under its original
+	// ID — before the first request can reach it.
+	d, err := newDaemon(pool, daemonConfig{
+		dataDir:      *dataDir,
+		fsync:        *fsyncMode == "always",
+		compactBytes: *walCompact,
+		sessionTTL:   *sessionTTL,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgecolord:", err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		fmt.Printf("edgecolord: data dir %s (fsync=%s): %d sessions recovered, %d failed\n",
+			*dataDir, *fsyncMode, d.recovered, d.recoveryFailures)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(pool),
+		Handler: d.mux,
 		// Slow-client bounds: a stalled or trickling connection must not
 		// pin a handler goroutine (and up to maxBodyBytes of buffer)
 		// forever. Reads are generous because bodies can carry 10⁶-edge
@@ -128,7 +156,7 @@ func main() {
 	}()
 	fmt.Printf("edgecolord: serving on %s (workers=%d queue=%d)\n",
 		*addr, pool.Stats().Workers, pool.Stats().QueueDepth)
-	err := srv.ListenAndServe()
+	err = srv.ListenAndServe()
 	if errors.Is(err, http.ErrServerClosed) {
 		// Graceful path: wait for the drain before tearing down the pool,
 		// so in-flight handlers finish their jobs and write their responses.
@@ -136,6 +164,9 @@ func main() {
 		err = nil
 	}
 	pool.Close()
+	// Quiesce the sessions last: in-flight compactions finish and the WAL
+	// files close cleanly (recovery handles an unclean exit regardless).
+	d.close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgecolord:", err)
 		os.Exit(1)
@@ -230,6 +261,12 @@ type statsResponse struct {
 	HTTPRequests  uint64  `json:"http_requests"`
 	HTTPErrors    uint64  `json:"http_errors"`
 	Sessions      int     `json:"sessions"`
+	// SessionEvictions counts idle sessions reclaimed by the TTL sweeper;
+	// SessionsRecovered/RecoveryFailures report the boot-time recovery of
+	// persisted sessions (-data-dir).
+	SessionEvictions  uint64 `json:"session_evictions"`
+	SessionsRecovered int    `json:"sessions_recovered"`
+	RecoveryFailures  int    `json:"recovery_failures"`
 }
 
 // sessionRequest is the body of POST /v1/session: the graph to keep live,
@@ -243,11 +280,14 @@ type sessionRequest struct {
 	TimeoutMS int       `json:"timeout_ms,omitempty"`
 }
 
-// sessionResponse is the body of session create/get responses.
+// sessionResponse is the body of session create/get responses. Seq is the
+// session's applied-batch sequence number — after a daemon restart it tells
+// the client exactly how much of its update history was made durable.
 type sessionResponse struct {
 	SessionID  string              `json:"session_id"`
 	Colors     []int               `json:"colors"`
 	Palette    int                 `json:"palette"`
+	Seq        uint64              `json:"seq"`
 	Stats      distec.DynamicStats `json:"stats"`
 	Verified   bool                `json:"verified"`
 	DurationMS float64             `json:"duration_ms"`
@@ -265,34 +305,96 @@ type updateRequest struct {
 // in the error body instead).
 type updateResponse struct {
 	Results    []distec.UpdateResult `json:"results"`
+	Seq        uint64                `json:"seq"`
 	Stats      distec.DynamicStats   `json:"stats"`
 	Verified   bool                  `json:"verified"`
 	DurationMS float64               `json:"duration_ms"`
 }
 
+// daemonConfig is the serve-mode configuration newDaemon needs beyond the
+// pool: session durability and lifecycle policy.
+type daemonConfig struct {
+	// dataDir enables session persistence: each dynamic session lives in
+	// dataDir/<id> as a snapshot plus WAL, journaled on every applied
+	// batch, compacted in the background, and recovered on boot. Empty
+	// keeps sessions memory-only (the pre-persistence behavior).
+	dataDir string
+	// fsync selects durable writes (fsync per batch and snapshot); without
+	// it writes still reach the kernel per batch, surviving process
+	// crashes but not OS crashes.
+	fsync bool
+	// compactBytes is the per-session WAL size that triggers compaction
+	// (0: persist.DefaultCompactBytes).
+	compactBytes int64
+	// sessionTTL evicts sessions idle longer than this — the fix for
+	// abandoned sessions pinning the registry cap forever. 0 disables.
+	sessionTTL time.Duration
+}
+
+// session is one registry entry: the live coloring, its durability log
+// (nil without -data-dir), and the idle-eviction clock.
+type session struct {
+	id  string
+	d   *distec.Dynamic
+	log *persist.Log
+	// last is the UnixNano of the last client touch (create, get, update);
+	// inflight counts batches currently executing, so the idle sweeper
+	// never evicts a session mid-batch just because the batch outlived the
+	// TTL.
+	last     atomic.Int64
+	inflight atomic.Int32
+}
+
+func (sess *session) touch() { sess.last.Store(time.Now().UnixNano()) }
+
 // server is the daemon's HTTP state: the shared pool, request counters, and
 // the dynamic-session registry.
 type server struct {
-	pool     *distec.Pool
-	start    time.Time
-	requests atomic.Uint64
-	errors   atomic.Uint64
+	pool  *distec.Pool
+	cfg   daemonConfig
+	start time.Time
+
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	evictions atomic.Uint64
+	// recovered and recoveryFailures count boot-time session recovery
+	// outcomes (written once before the listener opens).
+	recovered        int
+	recoveryFailures int
 
 	mux http.Handler
 
 	sessMu   sync.Mutex
-	sessions map[string]*distec.Dynamic
+	sessions map[string]*session
+
+	stopSweep chan struct{}
+	closeOnce sync.Once
 
 	// afterJob, when non-nil, runs after a handler's compute phase and
 	// before its response is written — a test seam standing in for a job
-	// that consumed the connection's whole write window.
-	afterJob func()
+	// that consumed the connection's whole write window. beforeUpdate runs
+	// between a session update's registry lookup and its batch — the seam
+	// that widens the delete/update race window for the regression test.
+	afterJob     func()
+	beforeUpdate func()
 }
 
 // newDaemon builds the daemon state over a shared pool (separated from main
-// for tests that need the *server).
-func newDaemon(pool *distec.Pool) *server {
-	s := &server{pool: pool, start: time.Now(), sessions: make(map[string]*distec.Dynamic)}
+// for tests that need the *server), recovering every persisted session
+// before any request can be served. Recovery is resilient: a session whose
+// files fail checksum, replay, or verification is skipped (and counted),
+// never served wrong.
+func newDaemon(pool *distec.Pool, cfg daemonConfig) (*server, error) {
+	s := &server{pool: pool, cfg: cfg, start: time.Now(), sessions: make(map[string]*session), stopSweep: make(chan struct{})}
+	if cfg.dataDir != "" {
+		if err := os.MkdirAll(cfg.dataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("data dir: %w", err)
+		}
+		s.recoverSessions()
+	}
+	if cfg.sessionTTL > 0 {
+		go s.sweepLoop()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -304,21 +406,234 @@ func newDaemon(pool *distec.Pool) *server {
 	mux.HandleFunc("POST /v1/session/{id}/update", s.handleSessionUpdate)
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
-// newServer returns the daemon's handler over a shared pool.
-func newServer(pool *distec.Pool) http.Handler {
-	return newDaemon(pool).mux
+// close stops the eviction sweeper and quiesces every session (waiting out
+// in-flight compactions, closing WAL files). Sessions stay on disk for the
+// next boot.
+func (s *server) close() {
+	s.closeOnce.Do(func() { close(s.stopSweep) })
+	s.sessMu.Lock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.sessions = make(map[string]*session)
+	s.sessMu.Unlock()
+	for _, sess := range all {
+		sess.d.Close()
+		if sess.log != nil {
+			sess.log.Close()
+		}
+	}
+}
+
+// persistOptions maps the daemon config onto the persistence layer's knobs.
+func (s *server) persistOptions() persist.Options {
+	return persist.Options{Fsync: s.cfg.fsync, CompactBytes: s.cfg.compactBytes}
+}
+
+// recoverSessions re-registers every session persisted under the data dir:
+// snapshot restored, WAL replayed, coloring verified, original ID kept.
+func (s *server) recoverSessions() {
+	entries, err := os.ReadDir(s.cfg.dataDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgecolord: recovery:", err)
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		sess, err := s.recoverSession(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgecolord: recovery: session %s: %v\n", id, err)
+			s.recoveryFailures++
+			continue
+		}
+		s.sessions[id] = sess
+		s.recovered++
+	}
+}
+
+// recoverSession rebuilds one session from its directory: open the log
+// (which repairs a torn WAL tail and finishes an interrupted compaction),
+// restore the snapshot, replay the surviving records in order, and verify
+// the result. Any failure abandons the recovery with the files untouched.
+func (s *server) recoverSession(id string) (*session, error) {
+	dir := filepath.Join(s.cfg.dataDir, id)
+	lg, snap, records, err := persist.OpenLog(dir, s.persistOptions())
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			lg.Close()
+		}
+	}()
+	f, err := os.Open(filepath.Join(dir, persist.SnapshotFile))
+	if err != nil {
+		return nil, err
+	}
+	d, err := distec.NewDynamicFromSnapshot(f, distec.DynamicOptions{Pool: s.pool})
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := distec.ReplayRecords(context.Background(), d, records); err != nil {
+		return nil, err
+	}
+	if want := snap.Seq + uint64(len(records)); d.Seq() != want {
+		return nil, fmt.Errorf("replayed to seq %d, want %d", d.Seq(), want)
+	}
+	// Never re-serve a coloring that does not independently verify.
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("recovered coloring invalid: %v", err)
+	}
+	sess := &session{id: id, d: d, log: lg}
+	d.SetJournal(s.journalFunc(sess))
+	// A WAL already past the threshold is compacted now (synchronously:
+	// boot is the cheap moment), so recovery cost stays bounded next time.
+	// A compaction failure poisons the log — registering the session anyway
+	// would 500 every update with no trace of why — so surface it as a
+	// recovery failure and leave the files for the operator (sessionctl).
+	if lg.NeedsCompaction() {
+		var buf bytes.Buffer
+		if err := d.Snapshot(&buf); err != nil {
+			return nil, fmt.Errorf("boot compaction snapshot: %w", err)
+		}
+		if err := lg.Compact(buf.Bytes()); err != nil {
+			return nil, fmt.Errorf("boot compaction: %w", err)
+		}
+	}
+	sess.touch()
+	ok = true
+	return sess, nil
+}
+
+// journalFunc builds the session's durability hook: append the applied
+// batch to the WAL and, once the WAL outgrows the threshold, capture a
+// point-in-time snapshot (in memory, under the session lock) and hand the
+// disk work to a background compaction.
+func (s *server) journalFunc(sess *session) distec.JournalFunc {
+	// scratch is safe to recycle across batches: the journal runs under the
+	// session lock and Append encodes the record before returning.
+	var scratch []persist.Update
+	return func(b distec.JournalBatch) error {
+		if cap(scratch) < len(b.Applied) {
+			scratch = make([]persist.Update, len(b.Applied))
+		}
+		rec := persist.Record{Seq: b.Seq, Updates: scratch[:len(b.Applied)]}
+		for i, up := range b.Applied {
+			op := persist.OpInsert
+			if up.Op == distec.DeleteEdge {
+				op = persist.OpDelete
+			}
+			rec.Updates[i] = persist.Update{Op: op, U: int32(up.U), V: int32(up.V)}
+		}
+		if err := sess.log.Append(rec); err != nil {
+			return err
+		}
+		if sess.log.NeedsCompaction() {
+			var buf bytes.Buffer
+			if err := b.Snapshot(&buf); err != nil {
+				return fmt.Errorf("compaction snapshot: %w", err)
+			}
+			return sess.log.CompactAsync(buf.Bytes())
+		}
+		return nil
+	}
+}
+
+// sweepLoop periodically evicts idle sessions; see sweepIdle.
+func (s *server) sweepLoop() {
+	interval := s.cfg.sessionTTL / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case <-t.C:
+			s.sweepIdle()
+		}
+	}
+}
+
+// sweepIdle evicts every session idle longer than the TTL — the fix for
+// abandoned sessions occupying the registry cap forever: an evicted session
+// is closed (in-flight batches fail with ErrSessionClosed rather than
+// mutating a dropped session) and its files are removed, exactly like an
+// explicit DELETE. It returns the number evicted; handleSessionCreate calls
+// it opportunistically when the registry is full, so one sweep-interval of
+// latency never turns into a 503.
+func (s *server) sweepIdle() int {
+	ttl := s.cfg.sessionTTL
+	if ttl <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-ttl).UnixNano()
+	var evicted []*session
+	s.sessMu.Lock()
+	for id, sess := range s.sessions {
+		// A session with a batch executing is busy, not abandoned, however
+		// long the batch runs; its clock is touched again on completion.
+		if sess.last.Load() < cutoff && sess.inflight.Load() == 0 {
+			delete(s.sessions, id)
+			evicted = append(evicted, sess)
+		}
+	}
+	s.sessMu.Unlock()
+	for _, sess := range evicted {
+		s.dropSession(sess)
+		s.evictions.Add(1)
+	}
+	return len(evicted)
+}
+
+// dropSession tears one already-unregistered session down: close it (late
+// and in-flight batches fail with ErrSessionClosed) and remove its files.
+func (s *server) dropSession(sess *session) {
+	sess.d.Close()
+	if sess.log != nil {
+		sess.log.Close()
+		os.RemoveAll(filepath.Join(s.cfg.dataDir, sess.id))
+	}
+}
+
+// retireSession unregisters and closes a session whose journal failed,
+// keeping its files: the durable state (every journaled batch) is intact
+// and recoverable on the next boot; only the unjournaled in-memory tail is
+// abandoned, exactly as the failed request reported.
+func (s *server) retireSession(id string, sess *session) {
+	s.sessMu.Lock()
+	delete(s.sessions, id)
+	s.sessMu.Unlock()
+	sess.d.Close()
+	if sess.log != nil {
+		sess.log.Close()
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, http.StatusOK, statsResponse{
-		PoolStats:     s.pool.Stats(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		HTTPRequests:  s.requests.Load(),
-		HTTPErrors:    s.errors.Load(),
-		Sessions:      s.sessionCount(),
+		PoolStats:         s.pool.Stats(),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		HTTPRequests:      s.requests.Load(),
+		HTTPErrors:        s.errors.Load(),
+		Sessions:          s.sessionCount(),
+		SessionEvictions:  s.evictions.Load(),
+		SessionsRecovered: s.recovered,
+		RecoveryFailures:  s.recoveryFailures,
 	})
 }
 
@@ -415,8 +730,13 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if s.sessionCount() >= maxSessions {
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("session limit %d reached", maxSessions))
-		return
+		// A full registry gets one opportunistic idle sweep before the 503:
+		// abandoned sessions must never brick session creation for the TTL
+		// sweeper's next tick.
+		if s.sweepIdle() == 0 {
+			s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("session limit %d reached", maxSessions))
+			return
+		}
 	}
 	var req sessionRequest
 	if !s.decodeBody(w, r, &req) {
@@ -462,20 +782,36 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
+	sess := &session{id: id, d: d}
+	if s.cfg.dataDir != "" {
+		// The session is durable from birth: its initial snapshot is on
+		// disk before the client learns the ID, so a crash at any later
+		// point recovers it.
+		lg, err := persist.CreateLog(filepath.Join(s.cfg.dataDir, id), d.Snapshot, s.persistOptions())
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("persist session: %w", err))
+			return
+		}
+		sess.log = lg
+		d.SetJournal(s.journalFunc(sess))
+	}
+	sess.touch()
 	s.sessMu.Lock()
 	// Re-check under the lock: concurrent creates may have raced past the
 	// early bound.
 	if len(s.sessions) >= maxSessions {
 		s.sessMu.Unlock()
+		s.dropSession(sess)
 		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("session limit %d reached", maxSessions))
 		return
 	}
-	s.sessions[id] = d
+	s.sessions[id] = sess
 	s.sessMu.Unlock()
 	s.respond(w, http.StatusOK, sessionResponse{
 		SessionID:  id,
 		Colors:     d.Colors(),
 		Palette:    d.Palette(),
+		Seq:        d.Seq(),
 		Stats:      d.Stats(),
 		Verified:   true,
 		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
@@ -486,11 +822,15 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 // pool's shared lanes, verifying the maintained coloring before responding.
 func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	d, ok := s.session(r.PathValue("id"))
+	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
 		s.fail(w, http.StatusNotFound, errors.New("no such session"))
 		return
 	}
+	if s.beforeUpdate != nil {
+		s.beforeUpdate()
+	}
+	d := sess.d
 	var req updateRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -510,8 +850,12 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), jobTimeout(req.TimeoutMS))
 	defer cancel()
 
+	sess.touch()
+	sess.inflight.Add(1)
 	start := time.Now()
 	results, err := d.ApplyBatch(ctx, req.Updates)
+	sess.inflight.Add(-1)
+	sess.touch()
 	if s.afterJob != nil {
 		s.afterJob()
 	}
@@ -519,11 +863,26 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		// The applied prefix holds (the coloring reflects exactly it); tell
 		// the client how far the batch got.
 		err = fmt.Errorf("applied %d/%d updates: %w", len(results), len(req.Updates), err)
-		if errors.Is(err, distec.ErrPaletteExhausted) {
+		switch {
+		case errors.Is(err, distec.ErrSessionClosed):
+			// The session was deleted or evicted while this batch was in
+			// flight: it is gone, not malformed.
+			s.fail(w, http.StatusGone, err)
+		case errors.Is(err, distec.ErrJournal):
+			// Applied in memory but not journaled: the session's memory
+			// state has diverged from its durable state, and any further
+			// acknowledged batch would journal with a sequence gap that
+			// makes the whole log unrecoverable. Stop serving the session —
+			// its files stay, so a restart recovers every batch that WAS
+			// made durable.
+			s.retireSession(r.PathValue("id"), sess)
+			s.fail(w, http.StatusInternalServerError,
+				fmt.Errorf("%w; session retired — restart the daemon to recover its last durable state", err))
+		case errors.Is(err, distec.ErrPaletteExhausted):
 			s.fail(w, http.StatusConflict, err)
-			return
+		default:
+			s.failJob(w, err)
 		}
-		s.failJob(w, err)
 		return
 	}
 	// Never report an unverified maintained coloring: the incremental
@@ -534,6 +893,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.respond(w, http.StatusOK, updateResponse{
 		Results:    results,
+		Seq:        d.Seq(),
 		Stats:      d.Stats(),
 		Verified:   true,
 		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
@@ -543,11 +903,13 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 // handleSessionGet reports a session's current coloring and stats.
 func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	d, ok := s.session(r.PathValue("id"))
+	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
 		s.fail(w, http.StatusNotFound, errors.New("no such session"))
 		return
 	}
+	sess.touch()
+	d := sess.d
 	if err := d.Verify(); err != nil {
 		s.fail(w, http.StatusInternalServerError, fmt.Errorf("OUTPUT INVALID: %w", err))
 		return
@@ -556,23 +918,27 @@ func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		SessionID: r.PathValue("id"),
 		Colors:    d.Colors(),
 		Palette:   d.Palette(),
+		Seq:       d.Seq(),
 		Stats:     d.Stats(),
 		Verified:  true,
 	})
 }
 
-// handleSessionDelete drops a session.
+// handleSessionDelete drops a session: closed (in-flight batches fail with
+// ErrSessionClosed instead of mutating a dropped session) and its persisted
+// files removed.
 func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	id := r.PathValue("id")
 	s.sessMu.Lock()
-	_, ok := s.sessions[id]
+	sess, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.sessMu.Unlock()
 	if !ok {
 		s.fail(w, http.StatusNotFound, errors.New("no such session"))
 		return
 	}
+	s.dropSession(sess)
 	s.respond(w, http.StatusOK, map[string]bool{"deleted": true})
 }
 
@@ -593,11 +959,11 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, req any) boo
 	return true
 }
 
-func (s *server) session(id string) (*distec.Dynamic, bool) {
+func (s *server) session(id string) (*session, bool) {
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
-	d, ok := s.sessions[id]
-	return d, ok
+	sess, ok := s.sessions[id]
+	return sess, ok
 }
 
 // failJob maps job errors to HTTP statuses, shared by the color and session

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -15,14 +16,27 @@ import (
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *distec.Pool) {
+	ts, _, pool := newTestServerCfg(t, daemonConfig{})
+	return ts, pool
+}
+
+// newTestServerCfg builds a daemon with the given config, exposing the
+// *server for tests that poke lifecycle internals.
+func newTestServerCfg(t *testing.T, cfg daemonConfig) (*httptest.Server, *server, *distec.Pool) {
 	t.Helper()
 	pool := distec.NewPool(distec.PoolOptions{Workers: 2})
-	ts := httptest.NewServer(newServer(pool))
+	d, err := newDaemon(pool, cfg)
+	if err != nil {
+		pool.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.mux)
 	t.Cleanup(func() {
 		ts.Close()
+		d.close()
 		pool.Close()
 	})
-	return ts, pool
+	return ts, d, pool
 }
 
 func postColor(t *testing.T, ts *httptest.Server, req colorRequest) (*http.Response, []byte) {
@@ -353,22 +367,27 @@ func TestSessionBadRequests(t *testing.T) {
 
 // TestSessionLimit pins the registry bound.
 func TestSessionLimit(t *testing.T) {
-	pool := distec.NewPool(distec.PoolOptions{Workers: 1})
-	defer pool.Close()
-	d := newDaemon(pool)
-	ts := httptest.NewServer(d.mux)
-	defer ts.Close()
+	ts, d, _ := newTestServerCfg(t, daemonConfig{})
 	// Fill the registry directly (creating maxSessions real colorings is
-	// needless work); the daemon must refuse the next create.
+	// needless work); the daemon must refuse the next create. Entries are
+	// fresh, so no TTL sweep can reclaim them.
 	d.sessMu.Lock()
 	for i := 0; i < maxSessions; i++ {
-		d.sessions[string(rune('a'+i%26))+string(rune('0'+i/26))] = nil
+		id := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		sess := &session{id: id}
+		sess.touch()
+		d.sessions[id] = sess
 	}
 	d.sessMu.Unlock()
 	resp, body := postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(distec.Cycle(4))})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
 	}
+	// Empty the fake registry so the shared cleanup does not close nil
+	// sessions.
+	d.sessMu.Lock()
+	d.sessions = make(map[string]*session)
+	d.sessMu.Unlock()
 }
 
 // TestWriteDeadlineExtension is the regression test for the write-timeout
@@ -379,7 +398,11 @@ func TestSessionLimit(t *testing.T) {
 func TestWriteDeadlineExtension(t *testing.T) {
 	pool := distec.NewPool(distec.PoolOptions{Workers: 1})
 	defer pool.Close()
-	d := newDaemon(pool)
+	d, err := newDaemon(pool, daemonConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.close()
 	d.afterJob = func() { time.Sleep(600 * time.Millisecond) } // the "slow job"
 	ts := httptest.NewUnstartedServer(d.mux)
 	ts.Config.WriteTimeout = 250 * time.Millisecond // job outlives the write window
@@ -448,5 +471,144 @@ func TestDriveLoad(t *testing.T) {
 	}
 	if _, err := driveLoad("http://127.0.0.1:1/", 10, time.Millisecond, classes, &out); err == nil {
 		t.Fatal("drove an unreachable daemon")
+	}
+}
+
+// TestSessionIdleEviction is the regression test for the registry leak: an
+// abandoned session used to occupy one of the 64 slots forever, bricking
+// POST /v1/session with permanent 503s once enough clients crashed. The TTL
+// sweeper must reclaim it.
+func TestSessionIdleEviction(t *testing.T) {
+	ts, _, _ := newTestServerCfg(t, daemonConfig{sessionTTL: 40 * time.Millisecond})
+	resp, body := postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(distec.Cycle(8))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon the session; the sweeper must evict it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/session/" + sr.SessionID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusNotFound {
+			break
+		}
+		// Touching the session via GET resets its clock, so only poll a few
+		// times per TTL.
+		if time.Now().After(deadline) {
+			t.Fatalf("session not evicted after 5s (status %d)", r.StatusCode)
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SessionEvictions == 0 {
+		t.Fatalf("eviction not counted: %+v", stats)
+	}
+	if stats.Sessions != 0 {
+		t.Fatalf("%d sessions left after eviction", stats.Sessions)
+	}
+}
+
+// TestSessionCreateSweepsWhenFull pins the deterministic half of the fix: a
+// full registry holding an expired session must evict it inline and admit
+// the new create, not 503 until the sweeper's next tick.
+func TestSessionCreateSweepsWhenFull(t *testing.T) {
+	ts, d, _ := newTestServerCfg(t, daemonConfig{sessionTTL: time.Hour})
+	resp, body := postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(distec.Cycle(8))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate the session past the TTL and fill the rest of the registry
+	// with fresh entries: the cap is reached, but one slot is reclaimable.
+	d.sessMu.Lock()
+	d.sessions[sr.SessionID].last.Store(time.Now().Add(-2 * time.Hour).UnixNano())
+	for i := 0; len(d.sessions) < maxSessions; i++ {
+		id := fmt.Sprintf("filler%d", i)
+		sess := &session{id: id}
+		sess.touch()
+		d.sessions[id] = sess
+	}
+	d.sessMu.Unlock()
+	resp, body = postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(distec.Cycle(6))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create at full registry with an expired slot: status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/session/"+sr.SessionID+"/update", updateRequest{
+		Updates: []distec.Update{{Op: distec.InsertEdge, U: 0, V: 2}},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session answered update with %d", resp.StatusCode)
+	}
+	// Drop the filler entries so cleanup doesn't close nil sessions.
+	d.sessMu.Lock()
+	for id, sess := range d.sessions {
+		if sess.d == nil {
+			delete(d.sessions, id)
+		}
+	}
+	d.sessMu.Unlock()
+}
+
+// TestSessionDeleteUpdateRace is the regression test for the delete/update
+// race: a handler that looked a session up right before DELETE dropped it
+// used to keep mutating (and journaling) the dropped session. The batch
+// must now fail with ErrSessionClosed, surfaced as 410 Gone.
+func TestSessionDeleteUpdateRace(t *testing.T) {
+	ts, d, _ := newTestServerCfg(t, daemonConfig{})
+	resp, body := postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(distec.Cycle(8))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	// Between the update handler's registry lookup and its batch, delete
+	// the session — the exact race window, held open deterministically.
+	deleted := false
+	d.beforeUpdate = func() {
+		if deleted {
+			return
+		}
+		deleted = true
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+sr.SessionID, nil)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("racing delete: status %d", r.StatusCode)
+		}
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/session/"+sr.SessionID+"/update", updateRequest{
+		Updates: []distec.Update{{Op: distec.InsertEdge, U: 0, V: 2}},
+	})
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("racing update: status %d, want 410: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "session closed") {
+		t.Fatalf("racing update error body: %s", body)
 	}
 }

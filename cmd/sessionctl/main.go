@@ -1,0 +1,211 @@
+// Command sessionctl inspects, verifies, and compacts the on-disk state of
+// persisted dynamic sessions (the snapshot + WAL directories an edgecolord
+// -data-dir maintains), offline — point it at a stopped daemon's data
+// directory or at one session directory.
+//
+// Usage:
+//
+//	sessionctl inspect <dir>   print each session's header, sequence state,
+//	                           and WAL summary (read-only)
+//	sessionctl verify  <dir>   fully recover each session in memory (WAL
+//	                           replayed over the snapshot) and check the
+//	                           resulting coloring independently (read-only)
+//	sessionctl compact <dir>   recover each session, write a fresh snapshot
+//	                           at the head sequence number, and retire the
+//	                           WAL
+//
+// <dir> is either one session directory (it contains a "snapshot" file) or
+// a data directory whose subdirectories are sessions. verify and compact
+// exit non-zero if any session fails; a torn WAL tail is not a failure
+// (recovery discards it by design) but is reported.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/distec/distec"
+	"github.com/distec/distec/internal/persist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sessionctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: sessionctl inspect|verify|compact <session-dir|data-dir>")
+	}
+	cmd, root := args[0], args[1]
+	var fn func(dir string, out io.Writer) error
+	switch cmd {
+	case "inspect":
+		fn = inspectSession
+	case "verify":
+		fn = verifySession
+	case "compact":
+		fn = compactSession
+	default:
+		return fmt.Errorf("unknown command %q (want inspect, verify, or compact)", cmd)
+	}
+	dirs, err := sessionDirs(root)
+	if err != nil {
+		return err
+	}
+	failures := 0
+	for _, dir := range dirs {
+		if err := fn(dir, out); err != nil {
+			fmt.Fprintf(out, "%s: FAILED: %v\n", dir, err)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d sessions failed", failures, len(dirs))
+	}
+	return nil
+}
+
+// sessionDirs resolves root to the session directories it holds: itself if
+// it contains a snapshot, otherwise every child directory that does.
+func sessionDirs(root string) ([]string, error) {
+	if _, err := os.Stat(filepath.Join(root, persist.SnapshotFile)); err == nil {
+		return []string{root}, nil
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, persist.SnapshotFile)); err == nil {
+			dirs = append(dirs, dir)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("%s holds no session (no %s file at or below it)", root, persist.SnapshotFile)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func inspectSession(dir string, out io.Writer) error {
+	snap, replay, info, err := persist.ScanDir(dir)
+	if err != nil {
+		return err
+	}
+	live := 0
+	for _, a := range snap.Active {
+		if a {
+			live++
+		}
+	}
+	alg := snap.Algorithm
+	if alg == "" {
+		alg = "bko (default)"
+	}
+	head := snap.Seq
+	if n := len(replay); n > 0 {
+		head = replay[n-1].Seq
+	}
+	updates := 0
+	for _, rec := range replay {
+		updates += len(rec.Updates)
+	}
+	fmt.Fprintf(out, "%s:\n", dir)
+	fmt.Fprintf(out, "  algorithm %s, seed %d, palette %d configured / %d live\n",
+		alg, snap.Seed, snap.ConfigPalette, snap.LivePalette)
+	fmt.Fprintf(out, "  graph: n=%d m=%d (%d active, %d tombstoned)\n",
+		snap.N, len(snap.EdgeU), live, len(snap.EdgeU)-live)
+	fmt.Fprintf(out, "  snapshot at seq %d; WAL %d bytes, %d records (%d updates) to seq %d\n",
+		snap.Seq, info.WALBytes, len(replay), updates, head)
+	if info.Stale > 0 {
+		fmt.Fprintf(out, "  %d stale records already covered by the snapshot (compaction leftovers)\n", info.Stale)
+	}
+	if info.PrevBytes > 0 {
+		fmt.Fprintf(out, "  interrupted compaction: wal.prev of %d bytes pending merge\n", info.PrevBytes)
+	}
+	if info.TornTail {
+		fmt.Fprintf(out, "  torn final record discarded (crash mid-append)\n")
+	}
+	return nil
+}
+
+// restoreSession recovers one session fully in memory: snapshot restored,
+// surviving WAL records replayed in order on the sequential engine.
+func restoreSession(dir string, records []persist.Record) (*distec.Dynamic, error) {
+	f, err := os.Open(filepath.Join(dir, persist.SnapshotFile))
+	if err != nil {
+		return nil, err
+	}
+	d, err := distec.NewDynamicFromSnapshot(f, distec.DynamicOptions{})
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := distec.ReplayRecords(context.Background(), d, records); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func verifySession(dir string, out io.Writer) error {
+	_, replay, info, err := persist.ScanDir(dir)
+	if err != nil {
+		return err
+	}
+	d, err := restoreSession(dir, replay)
+	if err != nil {
+		return err
+	}
+	if err := d.Verify(); err != nil {
+		return fmt.Errorf("recovered coloring invalid: %w", err)
+	}
+	st := d.Stats()
+	note := ""
+	if info.TornTail {
+		note = " (torn final record discarded)"
+	}
+	fmt.Fprintf(out, "%s: ok — seq %d, %d active edges, palette %d, coloring verified%s\n",
+		dir, d.Seq(), st.ActiveEdges, d.Palette(), note)
+	return nil
+}
+
+func compactSession(dir string, out io.Writer) error {
+	// OpenLog repairs the files (torn tail, interrupted compaction) and
+	// hands back the log for the rewrite.
+	lg, _, replay, err := persist.OpenLog(dir, persist.Options{Fsync: true})
+	if err != nil {
+		return err
+	}
+	defer lg.Close()
+	before := lg.WALSize()
+	d, err := restoreSession(dir, replay)
+	if err != nil {
+		return err
+	}
+	if err := d.Verify(); err != nil {
+		return fmt.Errorf("recovered coloring invalid (refusing to compact): %w", err)
+	}
+	var buf bytes.Buffer
+	if err := d.Snapshot(&buf); err != nil {
+		return err
+	}
+	if err := lg.Compact(buf.Bytes()); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: compacted — snapshot now at seq %d, WAL %d bytes → %d\n",
+		dir, d.Seq(), before, lg.WALSize())
+	return nil
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/distec/distec"
+	"github.com/distec/distec/internal/persist"
+)
+
+// buildSession persists a real journaled session under dir: an initial
+// snapshot plus batches of WAL records, exactly as the daemon would.
+func buildSession(t *testing.T, dir string, batches int) *distec.Dynamic {
+	t.Helper()
+	g := distec.RandomRegular(24, 4, 3)
+	d, err := distec.NewDynamic(g, distec.DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := persist.CreateLog(dir, d.Snapshot, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetJournal(func(b distec.JournalBatch) error {
+		rec := persist.Record{Seq: b.Seq, Updates: make([]persist.Update, len(b.Applied))}
+		for i, up := range b.Applied {
+			op := persist.OpInsert
+			if up.Op == distec.DeleteEdge {
+				op = persist.OpDelete
+			}
+			rec.Updates[i] = persist.Update{Op: op, U: int32(up.U), V: int32(up.V)}
+		}
+		return lg.Append(rec)
+	})
+	// Deterministic churn: delete each original edge, insert a fresh pair.
+	for b := 0; b < batches; b++ {
+		u1, v1 := g.Endpoints(distec.EdgeID(b))
+		batch := []distec.Update{
+			{Op: distec.DeleteEdge, U: u1, V: v1},
+			{Op: distec.InsertEdge, U: u1, V: v1},
+		}
+		if _, err := d.ApplyBatch(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func runCtl(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestInspect(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	buildSession(t, dir, 5)
+	out, err := runCtl(t, "inspect", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"bko (default)", "snapshot at seq 0", "5 records (10 updates) to seq 5", "n=24 m="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	live := buildSession(t, dir, 5)
+	out, err := runCtl(t, "verify", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok — seq 5") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+	if !strings.Contains(out, "coloring verified") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+	_ = live
+	// Verify is read-only: the files must be byte-identical afterwards.
+	before, err := os.ReadFile(filepath.Join(dir, persist.WALFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCtl(t, "verify", dir); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(filepath.Join(dir, persist.WALFile))
+	if string(before) != string(after) {
+		t.Fatal("verify modified the WAL")
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	buildSession(t, dir, 3)
+	path := filepath.Join(dir, persist.SnapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x08
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCtl(t, "verify", dir)
+	if err == nil {
+		t.Fatalf("corrupt snapshot verified:\n%s", out)
+	}
+	if !strings.Contains(out, "FAILED") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+}
+
+func TestVerifyReportsTornTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	buildSession(t, dir, 4)
+	path := filepath.Join(dir, persist.WALFile)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCtl(t, "verify", dir)
+	if err != nil {
+		t.Fatalf("torn tail must not fail verification: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok — seq 3") || !strings.Contains(out, "torn final record discarded") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	live := buildSession(t, dir, 6)
+	out, err := runCtl(t, "compact", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "compacted — snapshot now at seq 6") {
+		t.Fatalf("compact output:\n%s", out)
+	}
+	// The compacted state recovers to the same coloring, with no records
+	// left to replay.
+	snap, replay, _, err := persist.ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 6 || len(replay) != 0 {
+		t.Fatalf("after compact: snapshot seq %d, %d records", snap.Seq, len(replay))
+	}
+	d, err := restoreSession(dir, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := live.Colors(), d.Colors()
+	for e := range want {
+		if want[e] != got[e] {
+			t.Fatalf("edge %d: color %d after compact, want %d", e, got[e], want[e])
+		}
+	}
+	// And verify still passes.
+	if out, err := runCtl(t, "verify", dir); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+}
+
+func TestDataDirResolution(t *testing.T) {
+	root := t.TempDir()
+	buildSession(t, filepath.Join(root, "aaa"), 2)
+	buildSession(t, filepath.Join(root, "bbb"), 3)
+	out, err := runCtl(t, "verify", root)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "aaa: ok") || !strings.Contains(out, "bbb: ok") {
+		t.Fatalf("multi-session verify output:\n%s", out)
+	}
+	// One corrupt session fails the run but the others still report.
+	path := filepath.Join(root, "aaa", persist.SnapshotFile)
+	data, _ := os.ReadFile(path)
+	data[10] ^= 0x04
+	os.WriteFile(path, data, 0o644)
+	out, err = runCtl(t, "verify", root)
+	if err == nil || !strings.Contains(err.Error(), "1 of 2 sessions failed") {
+		t.Fatalf("err=%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "bbb: ok") {
+		t.Fatalf("healthy session not reported:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, err := runCtl(t, "inspect"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	if _, err := runCtl(t, "explode", t.TempDir()); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if _, err := runCtl(t, "inspect", t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

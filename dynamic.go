@@ -2,12 +2,16 @@ package distec
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
 
 	"github.com/distec/distec/internal/dynamic"
 	"github.com/distec/distec/internal/graph"
 	"github.com/distec/distec/internal/local"
+	"github.com/distec/distec/internal/persist"
 )
 
 // ErrPaletteExhausted marks dynamic inserts rejected because the session's
@@ -23,6 +27,19 @@ var ErrPaletteExhausted = dynamic.ErrPaletteExhausted
 // maintained coloring is unchanged; in particular a double delete can never
 // free a color twice.
 var ErrEdgeInactive = dynamic.ErrEdgeInactive
+
+// ErrSessionClosed marks updates against a Dynamic session after Close (via
+// errors.Is): late batches fail before touching the coloring, and a batch
+// in flight when Close lands fails at its next update boundary, leaving the
+// applied prefix in place but journaling nothing — a closed session is
+// never mutated further, and never journaled.
+var ErrSessionClosed = errors.New("distec: dynamic session closed")
+
+// ErrJournal marks ApplyBatch errors from the journal hook (via errors.Is):
+// the batch WAS applied to the in-memory coloring — the results are exact —
+// but durability is broken, since the journal did not record it. Callers
+// holding the session as a system of record should stop serving it.
+var ErrJournal = errors.New("distec: session journal write failed")
 
 // DynamicStats counts a dynamic session's update traffic; see NewDynamic.
 type DynamicStats = dynamic.Stats
@@ -100,6 +117,36 @@ type Dynamic struct {
 	engine local.Engine
 	cur    local.Engine
 	curCtx context.Context
+	// seq counts applied batches (guarded by mu); journal, when set,
+	// receives each one (snapFn is the pre-bound snapshot capture, so the
+	// per-batch JournalBatch costs no closure allocation). closed is read
+	// inside the update loop so an in-flight batch observes Close at its
+	// next update boundary.
+	seq     uint64
+	journal JournalFunc
+	snapFn  func(io.Writer) error
+	closed  atomic.Bool
+}
+
+// JournalFunc receives every applied update batch of a Dynamic session; see
+// Dynamic.SetJournal.
+type JournalFunc func(b JournalBatch) error
+
+// JournalBatch is one applied batch as handed to a session's journal.
+type JournalBatch struct {
+	// Seq is the batch's 1-based position in the session's applied-batch
+	// sequence; it is contiguous, so a journal replayed in order reproduces
+	// the session exactly.
+	Seq uint64
+	// Applied holds exactly the updates that took effect — the whole batch
+	// on success, the applied prefix when the batch failed midway. Valid
+	// only during the journal call.
+	Applied []Update
+	// Snapshot writes a point-in-time snapshot of the session consistent
+	// with Seq (the state with exactly the first Seq batches applied).
+	// Valid only during the journal call; it must not call back into the
+	// session (the session lock is held).
+	Snapshot func(w io.Writer) error
 }
 
 // NewDynamic computes an initial coloring of g and wraps it for incremental
@@ -183,9 +230,17 @@ func (d *Dynamic) Delete(u, v int) error {
 }
 
 // ApplyBatch applies a stream of updates in order, maintaining a proper
-// coloring after every one, and reports each update's outcome. It stops at
-// the first failing update, returning the results of the applied prefix
-// alongside the error — the coloring reflects exactly that prefix.
+// coloring after every one, and reports each update's outcome.
+//
+// Partial-failure contract: ApplyBatch stops at the first failing update
+// and returns the results of the applied prefix alongside the error — the
+// coloring reflects exactly len(results) updates, no more and no fewer, so
+// a caller (or a write-ahead log) can always reconstruct precisely what
+// took effect. An admission-level failure (pool closed, ctx done before a
+// worker lane freed, session already closed) returns nil results: nothing
+// was applied. The session journal, if set, receives exactly the applied
+// prefix (see SetJournal) — except after Close, which suppresses both
+// further mutation and journaling.
 //
 // On a pool-backed session the whole batch runs as one job on the pool's
 // shared lanes (admission control, metrics, and ctx cancellation included);
@@ -194,21 +249,37 @@ func (d *Dynamic) Delete(u, v int) error {
 func (d *Dynamic) ApplyBatch(ctx context.Context, updates []Update) ([]UpdateResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.pool == nil {
-		return d.applyLocked(ctx, d.engine, updates)
+	if d.closed.Load() {
+		return nil, ErrSessionClosed
 	}
 	var (
 		results []UpdateResult
 		apErr   error
 	)
-	err := d.pool.p.Do(ctx, func(eng local.Engine) error {
-		results, apErr = d.applyLocked(ctx, eng, updates)
-		return apErr
-	})
-	if err != nil && apErr == nil {
-		// Admission-level failure (pool closed, ctx done before a slot freed):
-		// nothing was applied.
-		return nil, err
+	if d.pool == nil {
+		results, apErr = d.applyLocked(ctx, d.engine, updates)
+	} else {
+		err := d.pool.p.Do(ctx, func(eng local.Engine) error {
+			results, apErr = d.applyLocked(ctx, eng, updates)
+			return apErr
+		})
+		if err != nil && apErr == nil {
+			// Admission-level failure (pool closed, ctx done before a slot
+			// freed): nothing was applied.
+			return nil, err
+		}
+	}
+	if len(results) > 0 && !errors.Is(apErr, ErrSessionClosed) {
+		d.seq++
+		if d.journal != nil {
+			if jerr := d.journal(JournalBatch{
+				Seq:      d.seq,
+				Applied:  updates[:len(results)],
+				Snapshot: d.snapFn,
+			}); jerr != nil {
+				apErr = errors.Join(apErr, fmt.Errorf("%w: batch %d: %w", ErrJournal, d.seq, jerr))
+			}
+		}
 	}
 	return results, apErr
 }
@@ -222,6 +293,12 @@ func (d *Dynamic) applyLocked(ctx context.Context, eng local.Engine, updates []U
 	for i, up := range updates {
 		if err := ctx.Err(); err != nil {
 			return results, err
+		}
+		if d.closed.Load() {
+			// Close landed while this batch was in flight: stop at the
+			// update boundary. The applied prefix stays (results are exact)
+			// but the caller will neither journal nor continue it.
+			return results, fmt.Errorf("update %d: %w", i, ErrSessionClosed)
 		}
 		switch up.Op {
 		case InsertEdge:
@@ -294,4 +371,151 @@ func (d *Dynamic) Verify() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.c.Verify()
+}
+
+// Seq returns the number of update batches applied so far — the sequence
+// number of the session's last applied batch, matching the Seq the journal
+// saw for it (batches count whether or not a journal is set).
+func (d *Dynamic) Seq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
+// SetJournal installs fn as the session's journal: after every applied
+// batch — including the applied prefix of a batch that failed midway — fn
+// is called under the session lock with the batch's sequence number, the
+// updates that took effect, and a point-in-time snapshot writer. A journal
+// error surfaces from ApplyBatch wrapped in ErrJournal; the in-memory
+// coloring keeps the batch either way. Install the journal before serving
+// updates (typically right after NewDynamic or after replaying a recovered
+// WAL); a nil fn removes it.
+func (d *Dynamic) SetJournal(fn JournalFunc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.journal = fn
+	if d.snapFn == nil {
+		d.snapFn = d.snapshotLocked
+	}
+}
+
+// Close marks the session closed: late batches fail immediately with
+// ErrSessionClosed and a batch in flight fails at its next update boundary,
+// without journaling. Close returns once no update is running, so a caller
+// that dropped the session (deleted, evicted) knows the coloring and its
+// journal are quiescent. Read accessors (Colors, Stats, Verify, Snapshot)
+// keep working. Idempotent.
+func (d *Dynamic) Close() error {
+	d.closed.Store(true)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return nil
+}
+
+// Snapshot writes a point-in-time snapshot of the session — graph
+// (tombstones included, preserving EdgeIDs), active-edge overlay, coloring,
+// palette/algorithm/seed header, and the applied-batch sequence number —
+// in the checksummed binary format NewDynamicFromSnapshot reads.
+func (d *Dynamic) Snapshot(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshotLocked(w)
+}
+
+// snapshotLocked encodes the session state; caller holds d.mu (it is also
+// the JournalBatch.Snapshot capture, invoked from inside ApplyBatch).
+func (d *Dynamic) snapshotLocked(w io.Writer) error {
+	g := d.c.Graph()
+	m := g.M()
+	snap := &persist.Snapshot{
+		Algorithm:     string(d.opts.Algorithm),
+		Seed:          d.opts.Seed,
+		ConfigPalette: d.opts.Palette,
+		LivePalette:   d.c.Palette(),
+		Seq:           d.seq,
+		N:             g.N(),
+		EdgeU:         make([]int32, m),
+		EdgeV:         make([]int32, m),
+		Active:        d.c.Active(),
+		Colors:        make([]int32, m),
+	}
+	for e, ed := range g.Edges() {
+		snap.EdgeU[e], snap.EdgeV[e] = ed.U, ed.V
+	}
+	for e, col := range d.c.Colors() {
+		snap.Colors[e] = int32(col)
+	}
+	return persist.WriteSnapshot(w, snap)
+}
+
+// NewDynamicFromSnapshot restores a session from a Snapshot stream: the
+// graph, overlay, coloring, and applied-batch sequence number come from the
+// snapshot, as do the session options (algorithm, palette, seed) — opts
+// contributes only the execution choices (Pool, or Engine/Shards for a
+// one-shot session). The restored coloring is validated like NewDynamicFrom
+// validates a fresh one. To finish a crash recovery, replay the session's
+// write-ahead log records beyond the snapshot's sequence number through
+// ApplyBatch, in order, before installing a journal.
+func NewDynamicFromSnapshot(r io.Reader, opts DynamicOptions) (*Dynamic, error) {
+	snap, err := persist.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	switch Algorithm(snap.Algorithm) {
+	case "", BKO, BKOTheory, PR01, GreedyClasses, Randomized, Vizing:
+	default:
+		return nil, fmt.Errorf("distec: snapshot names unknown algorithm %q", snap.Algorithm)
+	}
+	g := NewGraph(snap.N)
+	for e := range snap.EdgeU {
+		if _, err := g.AddEdge(int(snap.EdgeU[e]), int(snap.EdgeV[e])); err != nil {
+			return nil, fmt.Errorf("distec: snapshot edge %d: %w", e, err)
+		}
+	}
+	o := opts.Options
+	o.Algorithm = Algorithm(snap.Algorithm)
+	o.Palette = snap.ConfigPalette
+	o.Seed = snap.Seed
+	d := &Dynamic{opts: o, pool: opts.Pool, seq: snap.Seq}
+	if d.pool == nil {
+		if d.engine, err = o.engine(); err != nil {
+			return nil, err
+		}
+	}
+	colors := make([]int, len(snap.Colors))
+	for e, col := range snap.Colors {
+		colors[e] = int(col)
+	}
+	d.c, err = dynamic.Restore(g, snap.Active, colors, snap.LivePalette, dynamic.Options{
+		Palette:          o.Palette,
+		AutoDeltaPlusOne: o.Algorithm == Vizing,
+		Repair:           d.repairSubinstance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReplayRecords applies recovered write-ahead-log records to a restored
+// session in order — the shared replay step behind edgecolord's boot
+// recovery and sessionctl's offline verification, kept in one place so the
+// op mapping cannot diverge between them. The record type lives in an
+// internal package, making this module plumbing; external callers drive
+// ApplyBatch directly.
+func ReplayRecords(ctx context.Context, d *Dynamic, records []persist.Record) error {
+	for _, rec := range records {
+		updates := make([]Update, len(rec.Updates))
+		for i, up := range rec.Updates {
+			op := InsertEdge
+			if up.Op == persist.OpDelete {
+				op = DeleteEdge
+			}
+			updates[i] = Update{Op: op, U: int(up.U), V: int(up.V)}
+		}
+		if _, err := d.ApplyBatch(ctx, updates); err != nil {
+			return fmt.Errorf("distec: replay batch %d: %w", rec.Seq, err)
+		}
+	}
+	return nil
 }

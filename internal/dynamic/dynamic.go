@@ -171,9 +171,6 @@ func New(g *graph.Graph, colors []int, opts Options) (*Coloring, error) {
 	if len(colors) != g.M() {
 		return nil, fmt.Errorf("dynamic: %d colors for %d edges", len(colors), g.M())
 	}
-	if err := verify.EdgeColoring(g, nil, colors); err != nil {
-		return nil, fmt.Errorf("dynamic: initial coloring invalid: %w", err)
-	}
 	maxColor := -1
 	for _, c := range colors {
 		if c > maxColor {
@@ -181,20 +178,9 @@ func New(g *graph.Graph, colors []int, opts Options) (*Coloring, error) {
 		}
 	}
 	palette := opts.Palette
-	fixed := palette > 0
-	if fixed {
-		if maxColor >= palette {
-			return nil, fmt.Errorf("dynamic: initial coloring uses color %d outside palette [0,%d)", maxColor, palette)
-		}
-		if opts.Repair == nil {
-			return nil, fmt.Errorf("dynamic: fixed palette requires a Repairer")
-		}
-	} else {
+	if palette <= 0 {
 		if opts.AutoDeltaPlusOne {
 			palette = g.MaxDegree() + 1
-			if opts.Repair == nil {
-				return nil, fmt.Errorf("dynamic: the Δ+1 auto palette requires a Repairer")
-			}
 		} else {
 			palette = 2*g.MaxDegree() - 1
 		}
@@ -205,9 +191,53 @@ func New(g *graph.Graph, colors []int, opts Options) (*Coloring, error) {
 			palette = 1
 		}
 	}
+	active := make([]bool, g.M())
+	for e := range active {
+		active[e] = true
+	}
+	return build(g, active, colors, palette, opts)
+}
+
+// Restore wraps previously exported overlay state — the Active/Colors/
+// Palette triple of a running Coloring, e.g. loaded from a snapshot — for
+// continued incremental maintenance. active selects the live edges
+// (tombstones keep their EdgeIDs, which later inserts may revive);
+// colors[e] is ignored for tombstones; livePalette is the palette that was
+// in force, which for auto-palette sessions (opts.Palette 0) may exceed the
+// value New would derive, since auto palettes only ever grow. The state is
+// validated like New validates a fresh coloring; the update counters start
+// at zero.
+func Restore(g *graph.Graph, active []bool, colors []int, livePalette int, opts Options) (*Coloring, error) {
+	if len(colors) != g.M() || len(active) != g.M() {
+		return nil, fmt.Errorf("dynamic: active/colors sized %d/%d for %d edges", len(active), len(colors), g.M())
+	}
+	if livePalette < 1 {
+		return nil, fmt.Errorf("dynamic: live palette %d below 1", livePalette)
+	}
+	if opts.Palette > 0 && livePalette != opts.Palette {
+		return nil, fmt.Errorf("dynamic: live palette %d disagrees with the fixed palette %d", livePalette, opts.Palette)
+	}
+	return build(g, append([]bool(nil), active...), colors, livePalette, opts)
+}
+
+// build is the shared constructor behind New and Restore: it validates the
+// coloring over the active edges and against the palette, and assembles the
+// Coloring (taking ownership of active, copying colors). Tombstones are
+// normalized to color −1.
+func build(g *graph.Graph, active []bool, colors []int, palette int, opts Options) (*Coloring, error) {
+	if err := verify.EdgeColoring(g, active, colors); err != nil {
+		return nil, fmt.Errorf("dynamic: initial coloring invalid: %w", err)
+	}
+	fixed := opts.Palette > 0
+	if (fixed || opts.AutoDeltaPlusOne) && opts.Repair == nil {
+		if fixed {
+			return nil, fmt.Errorf("dynamic: fixed palette requires a Repairer")
+		}
+		return nil, fmt.Errorf("dynamic: the Δ+1 auto palette requires a Repairer")
+	}
 	c := &Coloring{
 		g:        g,
-		active:   make([]bool, g.M()),
+		active:   active,
 		colors:   append([]int(nil), colors...),
 		deg:      make([]int, g.N()),
 		palette:  palette,
@@ -216,11 +246,17 @@ func New(g *graph.Graph, colors []int, opts Options) (*Coloring, error) {
 		repair:   opts.Repair,
 		nodeMark: make([]int, g.N()),
 	}
-	for e := range c.active {
-		c.active[e] = true
-	}
-	for v := 0; v < g.N(); v++ {
-		c.deg[v] = g.Degree(v)
+	for e, a := range c.active {
+		if !a {
+			c.colors[e] = -1
+			continue
+		}
+		if c.colors[e] >= palette {
+			return nil, fmt.Errorf("dynamic: edge %d colored %d outside palette [0,%d)", e, c.colors[e], palette)
+		}
+		u, v := g.Endpoints(graph.EdgeID(e))
+		c.deg[u]++
+		c.deg[v]++
 	}
 	c.edgeMark = make([]int, g.M())
 	return c, nil

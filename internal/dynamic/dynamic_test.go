@@ -308,3 +308,95 @@ func TestInsertPropagatesContextError(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRestoreRoundTrip exports a live Coloring's state mid-stream, restores
+// it into a fresh Coloring, and requires the restored session to behave
+// identically under further updates — tombstones, revival, and palette
+// growth included.
+func TestRestoreRoundTrip(t *testing.T) {
+	g := graph.Cycle(12)
+	c, err := New(g, seqColors(t, g, 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range [][2]int{{0, 2}, {0, 3}, {5, 7}} {
+		if _, _, err := c.Insert(op[0], op[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Delete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(c.Graph().Clone(), c.Active(), c.Colors(), c.Palette(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("restored state: %v", err)
+	}
+	if r.Palette() != c.Palette() {
+		t.Fatalf("palette %d, want %d", r.Palette(), c.Palette())
+	}
+	// The same update applied to both must produce the same colors: degrees
+	// and overlays agree, and the algorithms are deterministic.
+	for i, op := range [][2]int{{0, 1}, {2, 6}, {3, 9}} {
+		id1, col1, err1 := c.Insert(op[0], op[1])
+		id2, col2, err2 := r.Insert(op[0], op[1])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("op %d: %v / %v", i, err1, err2)
+		}
+		if id1 != id2 || col1 != col2 {
+			t.Fatalf("op %d diverged: (%d,%d) vs (%d,%d)", i, id1, col1, id2, col2)
+		}
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreValidation pins the rejection paths: mismatched sizes,
+// improper colorings, palette disagreements, and missing repairers.
+func TestRestoreValidation(t *testing.T) {
+	g := graph.Cycle(6)
+	colors := seqColors(t, g, 3)
+	active := make([]bool, g.M())
+	for e := range active {
+		active[e] = true
+	}
+	if _, err := Restore(g, active[:3], colors, 3, Options{}); err == nil {
+		t.Fatal("short active accepted")
+	}
+	if _, err := Restore(g, active, colors, 0, Options{}); err == nil {
+		t.Fatal("zero live palette accepted")
+	}
+	if _, err := Restore(g, active, colors, 4, Options{Palette: 5, Repair: greedyRepairer}); err == nil {
+		t.Fatal("live palette disagreeing with fixed palette accepted")
+	}
+	if _, err := Restore(g, active, colors, 3, Options{Palette: 3}); err == nil {
+		t.Fatal("fixed palette without repairer accepted")
+	}
+	if _, err := Restore(g, active, colors, 1, Options{}); err == nil {
+		t.Fatal("colors outside the live palette accepted")
+	}
+	bad := append([]int(nil), colors...)
+	bad[0] = bad[1]
+	if _, err := Restore(g, active, bad, 3, Options{}); err == nil {
+		t.Fatal("improper coloring accepted")
+	}
+	// A coloring improper only among tombstoned edges is fine: tombstones
+	// carry no color.
+	tomb := append([]int(nil), colors...)
+	tomb[0] = tomb[1]
+	inactive := append([]bool(nil), active...)
+	inactive[0] = false
+	r, err := Restore(g, inactive, tomb, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Color(0) != -1 {
+		t.Fatalf("tombstone color %d, want -1", r.Color(0))
+	}
+	if got := r.Stats().ActiveEdges; got != g.M()-1 {
+		t.Fatalf("active edges %d, want %d", got, g.M()-1)
+	}
+}

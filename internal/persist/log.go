@@ -1,0 +1,477 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File names inside a session directory. SnapshotFile and WALFile are the
+// durable pair; the others are transient compaction state (a stale tmp is
+// removed on open, a leftover wal.prev is merged).
+const (
+	SnapshotFile    = "snapshot"
+	snapshotTmpFile = "snapshot.tmp"
+	WALFile         = "wal"
+	walPrevFile     = "wal.prev"
+	walTmpFile      = "wal.tmp"
+)
+
+// DefaultCompactBytes is the WAL size past which a compaction is suggested
+// when Options.CompactBytes is zero.
+const DefaultCompactBytes = 1 << 20
+
+// Options configures a Log.
+type Options struct {
+	// Fsync selects durable mode: every append and snapshot is fsynced, so
+	// committed batches survive OS crashes and power loss. Without it,
+	// writes still reach the kernel per batch — surviving a process crash
+	// or kill, the failure recovery is designed around — but an OS crash
+	// can lose the tail (which recovery then discards cleanly).
+	Fsync bool
+	// CompactBytes is the WAL size past which NeedsCompaction reports true
+	// (0: DefaultCompactBytes).
+	CompactBytes int64
+}
+
+func (o Options) compactBytes() int64 {
+	if o.CompactBytes <= 0 {
+		return DefaultCompactBytes
+	}
+	return o.CompactBytes
+}
+
+// Log is one session's durability state on disk: the snapshot file plus the
+// append-only WAL. Appends are serialized internally; compaction can run in
+// the background (CompactAsync) with only its rotation step synchronous.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	wal        *os.File
+	walSize    int64
+	enc        []byte // append scratch, reused across batches
+	compacting bool
+	// poisoned is the first unrecoverable write failure (a failed or
+	// partial append, a failed background compaction). It fails every later
+	// append loudly: after a partial record, silently appending more would
+	// bury acknowledged batches behind a mid-log tear that recovery must
+	// treat as the end of the log.
+	poisoned error
+	closed   bool
+	bg       sync.WaitGroup
+}
+
+// CreateLog initializes dir (created if needed) with the snapshot written
+// by writeSnap and an empty WAL, and returns the log ready for appends.
+func CreateLog(dir string, writeSnap func(io.Writer) error, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	if err := l.writeSnapshotFile(writeSnap); err != nil {
+		return nil, err
+	}
+	if err := l.resetWAL(nil); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ScanInfo summarizes what a read-only directory scan found, for
+// inspection tooling.
+type ScanInfo struct {
+	// WALBytes is the live WAL's size; PrevBytes the leftover wal.prev's
+	// (0 when absent — the normal state).
+	WALBytes, PrevBytes int64
+	// Records counts the surviving replayable records; Stale the records
+	// skipped as already covered by the snapshot (compaction leftovers);
+	// TornTail reports a discarded torn final record.
+	Records, Stale int
+	TornTail       bool
+}
+
+// ScanDir reads a session directory without modifying anything: the
+// snapshot, the records to replay over it (seq-filtered, contiguous, torn
+// tail discarded, an interrupted compaction's wal.prev merged), and a scan
+// summary. OpenLog performs the same recovery and then repairs the files;
+// inspection tooling uses ScanDir alone.
+func ScanDir(dir string) (*Snapshot, []Record, ScanInfo, error) {
+	var info ScanInfo
+	f, err := os.Open(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		return nil, nil, info, fmt.Errorf("persist: %w", err)
+	}
+	snap, err := ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, info, err
+	}
+	// wal.prev (if an async compaction was cut down mid-flight) strictly
+	// precedes wal: rotation creates the fresh wal only after wal.prev is
+	// complete, so the prev file can only hold a torn tail if no later
+	// records exist at all.
+	var recs []Record
+	prevClean := true
+	if prev, err := readWALFile(filepath.Join(dir, walPrevFile)); err == nil {
+		recs, prevClean = prev.records, prev.clean
+		if fi, err := os.Stat(filepath.Join(dir, walPrevFile)); err == nil {
+			info.PrevBytes = fi.Size()
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, info, err
+	}
+	cur, err := readWALFile(filepath.Join(dir, WALFile))
+	if errors.Is(err, os.ErrNotExist) {
+		// A missing WAL (crash between a rotation's rename and the fresh
+		// file) holds nothing and tears nothing.
+		cur = walScan{clean: true}
+	} else if err != nil {
+		return nil, nil, info, err
+	}
+	if fi, err := os.Stat(filepath.Join(dir, WALFile)); err == nil {
+		info.WALBytes = fi.Size()
+	}
+	if !prevClean && len(cur.records) > 0 {
+		return nil, nil, info, fmt.Errorf("persist: wal.prev torn at seq %d yet wal holds later records", lastSeq(recs))
+	}
+	info.TornTail = !prevClean || !cur.clean
+	recs = append(recs, cur.records...)
+	// Keep the records beyond the snapshot; everything they skip must chain
+	// contiguously from it (a gap means lost records, not a clean tear).
+	replay := recs[:0]
+	next := snap.Seq + 1
+	for _, rec := range recs {
+		if rec.Seq <= snap.Seq {
+			info.Stale++
+			continue
+		}
+		if rec.Seq != next {
+			return nil, nil, info, fmt.Errorf("persist: WAL gap: want seq %d, found %d (snapshot at %d)", next, rec.Seq, snap.Seq)
+		}
+		replay = append(replay, rec)
+		next++
+	}
+	info.Records = len(replay)
+	return snap, replay, info, nil
+}
+
+// OpenLog recovers dir: it parses the snapshot, merges any interrupted
+// compaction's wal.prev with the current WAL, discards a torn tail, rewrites
+// the WAL to exactly the surviving records, and returns the log (ready for
+// appends), the snapshot, and the records to replay over it — the records
+// with sequence numbers beyond the snapshot's, contiguous and in order.
+func OpenLog(dir string, opts Options) (*Log, *Snapshot, []Record, error) {
+	os.Remove(filepath.Join(dir, snapshotTmpFile)) // stray tmp from a crashed compaction
+	os.Remove(filepath.Join(dir, walTmpFile))      // stray tmp from a crashed open
+	snap, replay, _, err := ScanDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	// Rewrite the WAL to exactly the surviving records (tail repair + merge
+	// in one step), via tmp+rename so a crash mid-open is itself safe.
+	if err := l.resetWAL(replay); err != nil {
+		return nil, nil, nil, err
+	}
+	os.Remove(filepath.Join(dir, walPrevFile))
+	if opts.Fsync {
+		syncDir(dir)
+	}
+	return l, snap, replay, nil
+}
+
+type walScan struct {
+	records []Record
+	clean   bool
+}
+
+func readWALFile(path string) (walScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return walScan{}, err
+	}
+	defer f.Close()
+	if err := checkWALMagic(f); err != nil {
+		if errors.Is(err, errTorn) {
+			return walScan{clean: false}, nil // crash before the magic landed
+		}
+		return walScan{}, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	recs, clean, err := scanWAL(f)
+	if err != nil {
+		return walScan{}, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	return walScan{records: recs, clean: clean}, nil
+}
+
+func lastSeq(recs []Record) uint64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	return recs[len(recs)-1].Seq
+}
+
+// resetWAL replaces the WAL with one holding exactly recs, atomically via
+// tmp+rename, and leaves l.wal open for appends. Caller must not hold l.mu
+// with appends in flight (used only at construction).
+func (l *Log) resetWAL(recs []Record) error {
+	if l.wal != nil {
+		l.wal.Close()
+	}
+	path := filepath.Join(l.dir, WALFile)
+	tmp := filepath.Join(l.dir, walTmpFile)
+	buf := walMagic[:]
+	for _, rec := range recs {
+		buf = appendRecord(buf, rec)
+	}
+	if err := writeFileSync(tmp, buf, l.opts.Fsync); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if l.opts.Fsync {
+		syncDir(l.dir)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	l.wal, l.walSize = f, int64(len(buf))
+	return nil
+}
+
+// Append journals one applied batch. The write reaches the kernel before
+// Append returns (and stable storage in Fsync mode), so an acknowledged
+// batch survives a process crash. A failed write poisons the log: a partial
+// record is a tear recovery treats as end-of-log, so appending past it
+// would silently bury every later batch behind it.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("persist: log closed")
+	}
+	if l.poisoned != nil {
+		return fmt.Errorf("persist: log poisoned: %w", l.poisoned)
+	}
+	if size := recordHeaderBytes + recordPayloadFixed + updateBytes*len(rec.Updates); size > maxRecordBytes {
+		// An oversized record would be written whole yet rejected by the
+		// reader's corruption bound — acknowledged but unrecoverable, along
+		// with everything after it. Refuse it up front.
+		return fmt.Errorf("persist: record of %d bytes exceeds the WAL record limit %d", size, maxRecordBytes)
+	}
+	l.enc = appendRecord(l.enc[:0], rec)
+	n, err := l.wal.Write(l.enc)
+	l.walSize += int64(n)
+	if err != nil {
+		l.poisoned = fmt.Errorf("WAL append wrote %d of %d bytes: %w", n, len(l.enc), err)
+		return fmt.Errorf("persist: %w", l.poisoned)
+	}
+	if l.opts.Fsync {
+		if err := l.wal.Sync(); err != nil {
+			// The record's durability is unknown; no later append may be
+			// acknowledged on top of it.
+			l.poisoned = fmt.Errorf("WAL fsync: %w", err)
+			return fmt.Errorf("persist: %w", l.poisoned)
+		}
+	}
+	return nil
+}
+
+// WALSize returns the WAL's current size in bytes.
+func (l *Log) WALSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.walSize
+}
+
+// Dir returns the session directory the log manages.
+func (l *Log) Dir() string { return l.dir }
+
+// NeedsCompaction reports whether the WAL has outgrown the compaction
+// threshold and no compaction is already in flight.
+func (l *Log) NeedsCompaction() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.compacting && l.poisoned == nil && !l.closed && l.walSize >= l.opts.compactBytes()
+}
+
+// Compact replaces the snapshot with encodedSnap (a WriteSnapshot-encoded
+// state that must cover every record currently in the WAL) and retires the
+// WAL, synchronously. The caller guarantees no concurrent Append (the
+// distec journal hook runs under the session lock, which serializes both).
+func (l *Log) Compact(encodedSnap []byte) error {
+	if err := l.rotate(); err != nil {
+		return err
+	}
+	err := l.finishCompaction(encodedSnap)
+	l.mu.Lock()
+	l.compacting = false
+	if err != nil && l.poisoned == nil {
+		l.poisoned = err
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// CompactAsync is Compact with only the rotation step synchronous: the
+// snapshot write and old-WAL removal run in the background (serialized with
+// Close). A background failure poisons the log — the next Append reports it.
+func (l *Log) CompactAsync(encodedSnap []byte) error {
+	if err := l.rotate(); err != nil {
+		return err
+	}
+	l.bg.Add(1)
+	go func() {
+		defer l.bg.Done()
+		err := l.finishCompaction(encodedSnap)
+		l.mu.Lock()
+		l.compacting = false
+		if err != nil && l.poisoned == nil {
+			l.poisoned = err
+		}
+		l.mu.Unlock()
+	}()
+	return nil
+}
+
+// rotate moves the live WAL aside (wal → wal.prev) and opens a fresh one,
+// marking a compaction in flight.
+func (l *Log) rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("persist: log closed")
+	}
+	if l.compacting {
+		return fmt.Errorf("persist: compaction already in flight")
+	}
+	if l.poisoned != nil {
+		return fmt.Errorf("persist: log poisoned: %w", l.poisoned)
+	}
+	l.wal.Close()
+	if err := os.Rename(filepath.Join(l.dir, WALFile), filepath.Join(l.dir, walPrevFile)); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	path := filepath.Join(l.dir, WALFile)
+	if err := writeFileSync(path, walMagic[:], l.opts.Fsync); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	l.wal, l.walSize = f, int64(len(walMagic))
+	l.compacting = true
+	return nil
+}
+
+// finishCompaction lands the new snapshot and removes the retired WAL. If
+// it fails partway, recovery still works: the old snapshot plus wal.prev
+// plus the live WAL replay to the same state, and stale records are skipped
+// by sequence number.
+func (l *Log) finishCompaction(encodedSnap []byte) error {
+	if err := l.writeSnapshotFile(func(w io.Writer) error {
+		_, err := w.Write(encodedSnap)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(l.dir, walPrevFile)); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if l.opts.Fsync {
+		syncDir(l.dir)
+	}
+	return nil
+}
+
+// writeSnapshotFile writes the snapshot via tmp+rename so the previous
+// snapshot stays intact until the new one is durably complete.
+func (l *Log) writeSnapshotFile(writeSnap func(io.Writer) error) error {
+	tmp := filepath.Join(l.dir, snapshotTmpFile)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := writeSnap(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if l.opts.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, SnapshotFile)); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if l.opts.Fsync {
+		syncDir(l.dir)
+	}
+	return nil
+}
+
+// Close waits for any background compaction and closes the WAL. The first
+// background failure, if any, is returned.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.bg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.wal != nil {
+		err = l.wal.Close()
+	}
+	if l.poisoned != nil {
+		return l.poisoned
+	}
+	return err
+}
+
+func writeFileSync(path string, data []byte, fsync bool) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable; best effort
+// (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,160 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// walMagic opens every WAL file; the trailing byte is the format version.
+var walMagic = [8]byte{'D', 'E', 'C', 'W', 'A', 'L', 0, 1}
+
+// maxRecordBytes bounds one WAL record's payload; a length prefix beyond it
+// is treated as corruption, not an allocation request. It comfortably holds
+// the largest update batch any caller submits (the daemon caps batches at
+// 10⁵ updates ≈ 0.9 MB).
+const maxRecordBytes = 1 << 26
+
+// Op is one update's kind in a WAL record.
+type Op uint8
+
+const (
+	// OpInsert adds the active edge {U, V}.
+	OpInsert Op = 1
+	// OpDelete removes the active edge {U, V}.
+	OpDelete Op = 2
+)
+
+// Update is one edge update of a WAL record.
+type Update struct {
+	Op   Op
+	U, V int32
+}
+
+// Record is one applied update batch: Seq is its 1-based position in the
+// session's applied-batch sequence (contiguous, no gaps), Updates the batch
+// body — exactly the applied prefix when the originating batch failed
+// midway, so replay reproduces precisely the state the session reached.
+type Record struct {
+	Seq     uint64
+	Updates []Update
+}
+
+// record wire format, after the file magic:
+//
+//	u32 payload length | u32 CRC-32C(payload) | payload
+//	payload = u64 seq | u32 count | count × (u8 op, u32 u, u32 v)
+const (
+	recordHeaderBytes  = 8
+	recordPayloadFixed = 12
+	updateBytes        = 9
+)
+
+// appendRecord encodes rec onto buf and returns the extended slice. Every
+// byte of the extension is overwritten, so a recycled buffer (Log.enc) is
+// extended without the per-call allocation a make-and-append would cost on
+// the hot append path.
+func appendRecord(buf []byte, rec Record) []byte {
+	payloadLen := recordPayloadFixed + updateBytes*len(rec.Updates)
+	start := len(buf)
+	need := start + recordHeaderBytes + payloadLen
+	if cap(buf) < need {
+		buf = append(buf, make([]byte, need-start)...)
+	} else {
+		buf = buf[:need]
+	}
+	payload := buf[start+recordHeaderBytes : need]
+	binary.LittleEndian.PutUint64(payload[0:], rec.Seq)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(len(rec.Updates)))
+	off := recordPayloadFixed
+	for _, up := range rec.Updates {
+		payload[off] = byte(up.Op)
+		binary.LittleEndian.PutUint32(payload[off+1:], uint32(up.U))
+		binary.LittleEndian.PutUint32(payload[off+5:], uint32(up.V))
+		off += updateBytes
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// errTorn marks the end of the valid prefix of a WAL file: a record whose
+// length, payload, or checksum is incomplete or wrong. Scanning treats it
+// as end-of-log (a crash tears at most the final record; everything after a
+// tear is untrusted by construction).
+var errTorn = errors.New("persist: torn WAL record")
+
+// readRecord parses one record from r. It returns errTorn for any
+// incomplete or checksum-failing record and io.EOF at a clean end.
+func readRecord(r io.Reader) (Record, error) {
+	var header [recordHeaderBytes]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, errTorn // partial header
+	}
+	payloadLen := binary.LittleEndian.Uint32(header[0:])
+	wantCRC := binary.LittleEndian.Uint32(header[4:])
+	if payloadLen < recordPayloadFixed || payloadLen > maxRecordBytes {
+		return Record{}, errTorn
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, errTorn
+	}
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return Record{}, errTorn
+	}
+	rec := Record{Seq: binary.LittleEndian.Uint64(payload[0:])}
+	count := binary.LittleEndian.Uint32(payload[8:])
+	if uint64(recordPayloadFixed)+uint64(count)*updateBytes != uint64(payloadLen) {
+		return Record{}, errTorn
+	}
+	rec.Updates = make([]Update, count)
+	off := recordPayloadFixed
+	for i := range rec.Updates {
+		rec.Updates[i] = Update{
+			Op: Op(payload[off]),
+			U:  int32(binary.LittleEndian.Uint32(payload[off+1:])),
+			V:  int32(binary.LittleEndian.Uint32(payload[off+5:])),
+		}
+		off += updateBytes
+	}
+	return rec, nil
+}
+
+// scanWAL parses a WAL stream after its magic: the records of the valid
+// prefix, and clean=false when a torn record (or trailing garbage) was
+// discarded at the end.
+func scanWAL(r io.Reader) (recs []Record, clean bool, err error) {
+	for {
+		rec, err := readRecord(r)
+		if err == io.EOF {
+			return recs, true, nil
+		}
+		if errors.Is(err, errTorn) {
+			return recs, false, nil
+		}
+		if err != nil {
+			return recs, false, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// checkWALMagic consumes and verifies the file magic. A short file is a
+// tear (the crash hit the very first write); a present-but-wrong magic is
+// corruption.
+func checkWALMagic(r io.Reader) error {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return errTorn
+	}
+	if magic != walMagic {
+		return fmt.Errorf("persist: bad WAL magic %q", magic[:])
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package distec
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/distec/distec/internal/bench"
+	"github.com/distec/distec/internal/persist"
+)
+
+// journalOn wires a session to a persist.Log exactly as the daemon does:
+// every applied batch becomes one WAL record.
+func journalOn(b *testing.B, d *Dynamic, dir string, opts persist.Options) *persist.Log {
+	b.Helper()
+	lg, err := persist.CreateLog(dir, d.Snapshot, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch []persist.Update
+	d.SetJournal(func(jb JournalBatch) error {
+		if cap(scratch) < len(jb.Applied) {
+			scratch = make([]persist.Update, len(jb.Applied))
+		}
+		rec := persist.Record{Seq: jb.Seq, Updates: scratch[:len(jb.Applied)]}
+		for i, up := range jb.Applied {
+			op := persist.OpInsert
+			if up.Op == DeleteEdge {
+				op = persist.OpDelete
+			}
+			rec.Updates[i] = persist.Update{Op: op, U: int32(up.U), V: int32(up.V)}
+		}
+		return lg.Append(rec)
+	})
+	return lg
+}
+
+// BenchmarkPersist measures what durability costs the dynamic layer — the
+// BENCH_persist.json experiment:
+//
+//   - churn/*: µs per single-edge update on the 10⁵-edge auto-palette
+//     session of BenchmarkDynamic, with journaling off, on (fsync-less fast
+//     mode: one kernel write per batch), and fully fsynced. The acceptance
+//     figure is journal-on within 2× of journal-off in fsync-less mode.
+//     Compaction is disabled here so the numbers isolate the append path;
+//     its cost has its own benchmark below.
+//   - recovery/*: full crash recovery (OpenLog with tail repair +
+//     snapshot restore + WAL replay) against WAL length.
+//   - compact: one compaction of the 10⁵-edge session — the in-memory
+//     snapshot capture under the session lock plus the synchronous disk
+//     work the daemon normally backgrounds.
+//   - snapshot-encode: the capture alone (what an update batch pays extra
+//     when it trips the compaction threshold).
+func BenchmarkPersist(b *testing.B) {
+	noCompact := persist.Options{CompactBytes: 1 << 40}
+	churn := func(b *testing.B, journaled bool, opts persist.Options) {
+		g := benchDynamicGraph()
+		d, err := NewDynamic(g, DynamicOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if journaled {
+			lg := journalOn(b, d, filepath.Join(b.TempDir(), "sess"), opts)
+			defer lg.Close()
+		}
+		ops := bench.Churn(g, b.N, 7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := ops[i]
+			if op.Delete {
+				err = d.Delete(op.U, op.V)
+			} else {
+				_, _, err = d.Insert(op.U, op.V)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := d.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("churn/journal-off", func(b *testing.B) { churn(b, false, persist.Options{}) })
+	b.Run("churn/journal-on", func(b *testing.B) { churn(b, true, noCompact) })
+	b.Run("churn/journal-fsync", func(b *testing.B) {
+		churn(b, true, persist.Options{Fsync: true, CompactBytes: 1 << 40})
+	})
+
+	for _, walLen := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("recovery/wal-%d", walLen), func(b *testing.B) {
+			dir := filepath.Join(b.TempDir(), "sess")
+			g := benchDynamicGraph()
+			d, err := NewDynamic(g, DynamicOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lg := journalOn(b, d, dir, noCompact)
+			ops := bench.Churn(g, walLen, 7)
+			for _, op := range ops {
+				if op.Delete {
+					err = d.Delete(op.U, op.V)
+				} else {
+					_, _, err = d.Insert(op.U, op.V)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := lg.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lg, _, records, err := persist.OpenLog(dir, persist.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := os.Open(filepath.Join(dir, persist.SnapshotFile))
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := NewDynamicFromSnapshot(f, DynamicOptions{})
+				f.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ReplayRecords(context.Background(), r, records); err != nil {
+					b.Fatal(err)
+				}
+				if r.Seq() != uint64(walLen) {
+					b.Fatalf("recovered to seq %d, want %d", r.Seq(), walLen)
+				}
+				lg.Close()
+			}
+		})
+	}
+
+	b.Run("compact", func(b *testing.B) {
+		dir := filepath.Join(b.TempDir(), "sess")
+		g := benchDynamicGraph()
+		d, err := NewDynamic(g, DynamicOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lg := journalOn(b, d, dir, noCompact)
+		defer lg.Close()
+		if _, _, err := d.Insert(absentPair(g)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := d.Snapshot(&buf); err != nil {
+				b.Fatal(err)
+			}
+			if err := lg.Compact(buf.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("snapshot-encode", func(b *testing.B) {
+		g := benchDynamicGraph()
+		d, err := NewDynamic(g, DynamicOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.Snapshot(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// absentPair returns one node pair that is not an edge of g.
+func absentPair(g *Graph) (int, int) {
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if _, ok := g.HasEdge(u, v); !ok {
+				return u, v
+			}
+		}
+	}
+	panic("complete graph")
+}
