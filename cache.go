@@ -90,21 +90,31 @@ func (c *poolCache) key(g *Graph, opts Options) uint64 {
 	return h.Sum64()
 }
 
-// lookup returns (entry, owner): a non-nil entry the caller should read —
-// waiting for ready if necessary — or owner=true, in which case the caller
-// owns the (newly inserted, pending) entry and must call fill exactly once.
-func (c *poolCache) lookup(key uint64) (*cacheEntry, bool) {
+// lookup returns (entry, owner, pending): a non-nil entry the caller
+// should read — waiting for ready if necessary — or owner=true, in which
+// case the caller owns the (newly inserted, pending) entry and must call
+// fill exactly once. pending reports whether a found entry was still being
+// computed at lookup time (a single-flight coalesce rather than a ready
+// hit); it is decided under the cache lock, where e.elem is stable.
+func (c *poolCache) lookup(key uint64) (e *cacheEntry, owner, pending bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.byKey[key]; ok {
 		if e.elem != nil {
 			c.lru.MoveToFront(e.elem)
 		}
-		return e, false
+		return e, false, e.elem == nil
 	}
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e = &cacheEntry{key: key, ready: make(chan struct{})}
 	c.byKey[key] = e
-	return e, true
+	return e, true, false
+}
+
+// len reports the number of ready entries (the LRU holds only those).
+func (c *poolCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
 }
 
 // fill completes the owner's pending entry. Failed computations are dropped

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/distec/distec"
 	"github.com/distec/distec/internal/graph"
@@ -35,6 +37,8 @@ func main() {
 		shards  = flag.Int("shards", 0, "worker count for -engine sharded (default: one per core)")
 		palette = flag.Int("palette", 0, "palette size (default 2Δ−1; Δ+1 for -alg vizing)")
 		dump    = flag.Bool("dump", false, "print per-edge colors")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the coloring run to this file (view with go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 
@@ -55,8 +59,20 @@ func main() {
 		Palette:   *palette,
 		Seed:      *seed,
 	}
-	res, err := distec.ColorEdges(g, opts)
+	// Profile the coloring run alone: graph loading and output are not what
+	// -cpuprofile users are tuning.
+	stopProfile, err := startCPUProfile(*cpuProf)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgecolor:", err)
+		os.Exit(1)
+	}
+	res, err := distec.ColorEdges(g, opts)
+	stopProfile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgecolor:", err)
+		os.Exit(1)
+	}
+	if err := writeHeapProfile(*memProf); err != nil {
 		fmt.Fprintln(os.Stderr, "edgecolor:", err)
 		os.Exit(1)
 	}
@@ -134,4 +150,39 @@ func loadGraph(inFile, gen string, n, d int, p float64, seed uint64) (*distec.Gr
 	}
 	defer f.Close()
 	return graph.Read(f)
+}
+
+// startCPUProfile begins CPU profiling into path ("" is a no-op) and
+// returns the function that stops it and closes the file.
+func startCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile dumps the heap to path ("" is a no-op), forcing a GC
+// first so the profile reflects live objects, not garbage.
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }

@@ -96,3 +96,46 @@ func TestValidateFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileHelpers: the -cpuprofile/-memprofile plumbing writes real,
+// nonempty pprof files and surfaces bad paths as errors.
+func TestProfileHelpers(t *testing.T) {
+	stop, err := startCPUProfile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // empty path: no-op closure, must not panic
+
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	stop, err = startCPUProfile(cpuPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1e6; i++ {
+		_ = i * i
+	}
+	stop()
+	if fi, err := os.Stat(cpuPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile: %v (size %v)", err, fi)
+	}
+
+	if err := writeHeapProfile(""); err != nil {
+		t.Fatal(err)
+	}
+	heapPath := filepath.Join(dir, "heap.pprof")
+	if err := writeHeapProfile(heapPath); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heapPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile: %v (size %v)", err, fi)
+	}
+
+	bad := filepath.Join(dir, "missing", "out.pprof")
+	if _, err := startCPUProfile(bad); err == nil {
+		t.Error("startCPUProfile into missing dir: no error")
+	}
+	if err := writeHeapProfile(bad); err == nil {
+		t.Error("writeHeapProfile into missing dir: no error")
+	}
+}

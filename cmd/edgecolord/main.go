@@ -11,8 +11,12 @@
 //	GET    /v1/session/{id}         session coloring + stats
 //	POST   /v1/session/{id}/update  apply a batch of edge inserts/deletes
 //	DELETE /v1/session/{id}         drop a session
-//	GET    /v1/stats                pool metrics + daemon counters
+//	GET    /v1/stats                pool metrics + daemon counters (JSON)
+//	GET    /metrics                 the same registry in Prometheus text format
 //	GET    /healthz                 liveness
+//
+// With -pprof the daemon additionally serves net/http/pprof under
+// /debug/pprof/ for live CPU, heap, and contention profiling.
 //
 // One coloring per POST /v1/color: the graph as an edge list, optionally an
 // algorithm, palette, seed, per-edge lists (list coloring), and a partial
@@ -46,9 +50,12 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,6 +65,7 @@ import (
 	"time"
 
 	"github.com/distec/distec"
+	"github.com/distec/distec/internal/metrics"
 	"github.com/distec/distec/internal/persist"
 )
 
@@ -73,6 +81,7 @@ func main() {
 		fsyncMode  = flag.String("fsync", "always", "session durability: always (fsync per batch, survives OS crashes) or none (kernel write per batch, survives process crashes)")
 		walCompact = flag.Int64("wal-compact-bytes", persist.DefaultCompactBytes, "compact a session (fresh snapshot, retired WAL) once its WAL exceeds this size")
 		sessionTTL = flag.Duration("session-ttl", 30*time.Minute, "evict dynamic sessions idle longer than this (0: never evict)")
+		pprofFlag  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (CPU, heap, block profiles on the live daemon)")
 
 		drive    = flag.String("drive", "", "drive mode: base URL of a running daemon")
 		rate     = flag.Float64("rate", 20, "drive: requests per second")
@@ -102,11 +111,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edgecolord: unknown -fsync mode %q (want always or none)\n", *fsyncMode)
 		os.Exit(2)
 	}
+	// One registry serves both observability surfaces: the pool, cache,
+	// session, and persistence subsystems all register here, GET /metrics
+	// renders it, and /v1/stats reads the same counters — the two surfaces
+	// cannot diverge.
+	reg := metrics.New()
 	pool := distec.NewPool(distec.PoolOptions{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		SmallJob:   *small,
 		CacheSize:  *cache,
+		Metrics:    reg,
 	})
 	// Recovery runs before the listener opens: every persisted session is
 	// live again — WAL replayed, verified, re-registered under its original
@@ -116,6 +131,8 @@ func main() {
 		fsync:        *fsyncMode == "always",
 		compactBytes: *walCompact,
 		sessionTTL:   *sessionTTL,
+		pprof:        *pprofFlag,
+		metrics:      reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgecolord:", err)
@@ -254,19 +271,39 @@ type colorResponse struct {
 	DurationMS float64 `json:"duration_ms"`
 }
 
-// statsResponse is the body of GET /v1/stats.
+// statsResponse is the body of GET /v1/stats: the pool snapshot plus the
+// daemon counters, all read from the same registry-backed counters the
+// Prometheus endpoint renders, plus build identity so dashboards and the
+// crash-recovery harness can tell daemon generations apart.
 type statsResponse struct {
 	distec.PoolStats
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	HTTPRequests  uint64  `json:"http_requests"`
-	HTTPErrors    uint64  `json:"http_errors"`
-	Sessions      int     `json:"sessions"`
-	// SessionEvictions counts idle sessions reclaimed by the TTL sweeper;
+	// GoVersion and BuildRevision identify the binary (runtime.Version and
+	// the VCS revision stamped into the build, "unknown" without one).
+	GoVersion     string `json:"go_version"`
+	BuildRevision string `json:"build_revision"`
+	daemonCounters
+	Sessions int `json:"sessions"`
 	// SessionsRecovered/RecoveryFailures report the boot-time recovery of
 	// persisted sessions (-data-dir).
-	SessionEvictions  uint64 `json:"session_evictions"`
-	SessionsRecovered int    `json:"sessions_recovered"`
-	RecoveryFailures  int    `json:"recovery_failures"`
+	SessionsRecovered int `json:"sessions_recovered"`
+	RecoveryFailures  int `json:"recovery_failures"`
+}
+
+// daemonCounters is the daemon's own counter block, snapshotted in one
+// place (see counterSnapshot) so a scrape can never read the fields at
+// wildly different instants through separate accessor calls.
+type daemonCounters struct {
+	HTTPRequests uint64 `json:"http_requests"`
+	HTTPErrors   uint64 `json:"http_errors"`
+	// SessionCreates/SessionDeletes/SessionEvictions count registry
+	// lifecycle events (evictions are the TTL sweeper's reclaims);
+	// SessionClosedRejects counts update batches that lost the race with a
+	// delete or eviction and were answered 410 Gone.
+	SessionCreates       uint64 `json:"session_creates"`
+	SessionDeletes       uint64 `json:"session_deletes"`
+	SessionEvictions     uint64 `json:"session_evictions"`
+	SessionClosedRejects uint64 `json:"session_closed_rejects"`
 }
 
 // sessionRequest is the body of POST /v1/session: the graph to keep live,
@@ -329,6 +366,12 @@ type daemonConfig struct {
 	// sessionTTL evicts sessions idle longer than this — the fix for
 	// abandoned sessions pinning the registry cap forever. 0 disables.
 	sessionTTL time.Duration
+	// pprof serves net/http/pprof under /debug/pprof/.
+	pprof bool
+	// metrics is the registry every subsystem reports into; the pool must
+	// have been created with the same one. newDaemon creates a fresh
+	// registry when nil (tests), losing only the pool families.
+	metrics *metrics.Registry
 }
 
 // session is one registry entry: the live coloring, its durability log
@@ -347,16 +390,35 @@ type session struct {
 
 func (sess *session) touch() { sess.last.Store(time.Now().UnixNano()) }
 
-// server is the daemon's HTTP state: the shared pool, request counters, and
-// the dynamic-session registry.
+// server is the daemon's HTTP state: the shared pool, the metrics
+// registry with the daemon's own counters on it, and the dynamic-session
+// registry.
 type server struct {
 	pool  *distec.Pool
 	cfg   daemonConfig
 	start time.Time
 
-	requests  atomic.Uint64
-	errors    atomic.Uint64
-	evictions atomic.Uint64
+	// reg is the one registry behind both GET /metrics and /v1/stats; the
+	// counters below are registered on it, so the two surfaces read the
+	// very same atomics.
+	reg       *metrics.Registry
+	requests  *metrics.Counter
+	errors    *metrics.Counter
+	evictions *metrics.Counter
+	creates   *metrics.Counter
+	deletes   *metrics.Counter
+	// closedRejects counts updates answered 410 Gone because the session
+	// closed mid-flight (deleted or evicted while the batch ran).
+	closedRejects *metrics.Counter
+	// updateLatency observes every session update batch end to end;
+	// updateTiers splits applied updates by how they were served (delete,
+	// or inserts by repair tier: greedy / repaired / augmented).
+	updateLatency *metrics.Histogram
+	updateTiers   map[string]*metrics.Counter
+	// recoveryTime observes per-session boot recovery (open + replay +
+	// verify), successes only.
+	recoveryTime *metrics.Histogram
+	persistM     *persist.Metrics
 	// recovered and recoveryFailures count boot-time session recovery
 	// outcomes (written once before the listener opens).
 	recovered        int
@@ -385,7 +447,12 @@ type server struct {
 // files fail checksum, replay, or verification is skipped (and counted),
 // never served wrong.
 func newDaemon(pool *distec.Pool, cfg daemonConfig) (*server, error) {
-	s := &server{pool: pool, cfg: cfg, start: time.Now(), sessions: make(map[string]*session), stopSweep: make(chan struct{})}
+	reg := cfg.metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	s := &server{pool: pool, cfg: cfg, start: time.Now(), reg: reg, sessions: make(map[string]*session), stopSweep: make(chan struct{})}
+	s.registerMetrics()
 	if cfg.dataDir != "" {
 		if err := os.MkdirAll(cfg.dataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("data dir: %w", err)
@@ -400,13 +467,65 @@ func newDaemon(pool *distec.Pool, cfg daemonConfig) (*server, error) {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/color", s.handleColor)
 	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
 	mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
 	mux.HandleFunc("POST /v1/session/{id}/update", s.handleSessionUpdate)
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s, nil
+}
+
+// registerMetrics creates the daemon's own counters on the registry —
+// everything /v1/stats reports beyond the pool lives here, so both
+// surfaces read identical state.
+func (s *server) registerMetrics() {
+	reg := s.reg
+	s.requests = reg.Counter("distec_http_requests_total", "API requests received.")
+	s.errors = reg.Counter("distec_http_errors_total", "API requests answered with an error status.")
+	s.creates = reg.Counter("distec_session_creates_total", "Dynamic sessions created.")
+	s.deletes = reg.Counter("distec_session_deletes_total", "Dynamic sessions deleted by clients.")
+	s.evictions = reg.Counter("distec_session_evictions_total", "Idle dynamic sessions reclaimed by the TTL sweeper.")
+	s.closedRejects = reg.Counter("distec_session_closed_rejected_total", "Update batches answered 410 Gone because the session closed mid-flight.")
+	s.updateLatency = reg.Histogram("distec_session_update_seconds", "Session update batch latency, end to end.", metrics.LatencyBuckets)
+	const tiersHelp = "Applied session updates by service tier: deletes, and inserts served greedily, by conflict-region repair, or by Vizing augmentation."
+	s.updateTiers = map[string]*metrics.Counter{
+		"delete":    reg.Counter("distec_session_updates_total", tiersHelp, "tier", "delete"),
+		"greedy":    reg.Counter("distec_session_updates_total", tiersHelp, "tier", "greedy"),
+		"repaired":  reg.Counter("distec_session_updates_total", tiersHelp, "tier", "repaired"),
+		"augmented": reg.Counter("distec_session_updates_total", tiersHelp, "tier", "augmented"),
+	}
+	s.recoveryTime = reg.Histogram("distec_session_recovery_seconds", "Boot-time per-session recovery duration (open, replay, verify), successes only.", metrics.LatencyBuckets)
+	s.persistM = &persist.Metrics{}
+	s.persistM.Register(reg)
+	reg.GaugeFunc("distec_sessions", "Live dynamic sessions.", func() float64 { return float64(s.sessionCount()) })
+	reg.CounterFunc("distec_session_recovered_total", "Sessions recovered at boot.", func() uint64 { return uint64(s.recovered) })
+	reg.CounterFunc("distec_session_recovery_failures_total", "Sessions that failed boot recovery and were skipped.", func() uint64 { return uint64(s.recoveryFailures) })
+	reg.GaugeFunc("distec_uptime_seconds", "Seconds since the daemon booted.", func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("go_goroutines", "Live goroutines.", func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("distec_build_info", "Build identity: constant 1, labeled with the Go version and VCS revision.",
+		func() float64 { return 1 }, "go_version", runtime.Version(), "revision", buildRevision())
+}
+
+// buildRevision extracts the VCS revision stamped into the binary, or
+// "unknown" for builds without one (go test binaries, plain go run).
+func buildRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				return kv.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // close stops the eviction sweeper and quiesces every session (waiting out
@@ -431,7 +550,7 @@ func (s *server) close() {
 
 // persistOptions maps the daemon config onto the persistence layer's knobs.
 func (s *server) persistOptions() persist.Options {
-	return persist.Options{Fsync: s.cfg.fsync, CompactBytes: s.cfg.compactBytes}
+	return persist.Options{Fsync: s.cfg.fsync, CompactBytes: s.cfg.compactBytes, Metrics: s.persistM}
 }
 
 // recoverSessions re-registers every session persisted under the data dir:
@@ -447,12 +566,14 @@ func (s *server) recoverSessions() {
 			continue
 		}
 		id := e.Name()
+		start := time.Now()
 		sess, err := s.recoverSession(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edgecolord: recovery: session %s: %v\n", id, err)
 			s.recoveryFailures++
 			continue
 		}
+		s.recoveryTime.Observe(time.Since(start).Seconds())
 		s.sessions[id] = sess
 		s.recovered++
 	}
@@ -628,13 +749,40 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, http.StatusOK, statsResponse{
 		PoolStats:         s.pool.Stats(),
 		UptimeSeconds:     time.Since(s.start).Seconds(),
-		HTTPRequests:      s.requests.Load(),
-		HTTPErrors:        s.errors.Load(),
+		GoVersion:         runtime.Version(),
+		BuildRevision:     buildRevision(),
+		daemonCounters:    s.counterSnapshot(),
 		Sessions:          s.sessionCount(),
-		SessionEvictions:  s.evictions.Load(),
 		SessionsRecovered: s.recovered,
 		RecoveryFailures:  s.recoveryFailures,
 	})
+}
+
+// counterSnapshot reads every daemon counter into one struct, in one
+// place. The counters are independent atomics, so the reads are ordered
+// to preserve the block's invariants: each *consuming* counter is read
+// before the *producing* counter it is bounded by (deletes, evictions,
+// and closed-rejects before creates; errors before requests). A create
+// or request landing between the reads then inflates only the producing
+// side — a scrape can never report more evictions than creates, or more
+// errors than requests, however loaded the daemon is.
+func (s *server) counterSnapshot() daemonCounters {
+	var c daemonCounters
+	c.SessionDeletes = s.deletes.Load()
+	c.SessionEvictions = s.evictions.Load()
+	c.SessionClosedRejects = s.closedRejects.Load()
+	c.SessionCreates = s.creates.Load()
+	c.HTTPErrors = s.errors.Load()
+	c.HTTPRequests = s.requests.Load()
+	return c
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format — the same counters /v1/stats reports, scrapable.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 func (s *server) sessionCount() int {
@@ -807,6 +955,7 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessions[id] = sess
 	s.sessMu.Unlock()
+	s.creates.Inc()
 	s.respond(w, http.StatusOK, sessionResponse{
 		SessionID:  id,
 		Colors:     d.Colors(),
@@ -856,6 +1005,8 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	results, err := d.ApplyBatch(ctx, req.Updates)
 	sess.inflight.Add(-1)
 	sess.touch()
+	s.updateLatency.Observe(time.Since(start).Seconds())
+	s.countTiers(results)
 	if s.afterJob != nil {
 		s.afterJob()
 	}
@@ -867,6 +1018,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, distec.ErrSessionClosed):
 			// The session was deleted or evicted while this batch was in
 			// flight: it is gone, not malformed.
+			s.closedRejects.Inc()
 			s.fail(w, http.StatusGone, err)
 		case errors.Is(err, distec.ErrJournal):
 			// Applied in memory but not journaled: the session's memory
@@ -939,7 +1091,26 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dropSession(sess)
+	s.deletes.Inc()
 	s.respond(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+// countTiers attributes each applied update to its service tier — the
+// repair-tier split that shows how hard the palette is working (greedy is
+// cheap, repairs bounded, augmentations the expensive last resort).
+func (s *server) countTiers(results []distec.UpdateResult) {
+	for _, r := range results {
+		switch {
+		case r.Color < 0:
+			s.updateTiers["delete"].Inc()
+		case r.Augmented:
+			s.updateTiers["augmented"].Inc()
+		case r.Repaired:
+			s.updateTiers["repaired"].Inc()
+		default:
+			s.updateTiers["greedy"].Inc()
+		}
+	}
 }
 
 // decodeBody reads one size-bounded JSON request body into req, writing the

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/distec/distec"
+	"github.com/distec/distec/internal/metrics"
+)
+
+// newMetricsServer builds a daemon whose pool shares its registry — the
+// production wiring, where /metrics carries the serve, cache, session, and
+// persistence families side by side.
+func newMetricsServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	reg := metrics.New()
+	pool := distec.NewPool(distec.PoolOptions{Workers: 2, Metrics: reg})
+	d, err := newDaemon(pool, daemonConfig{dataDir: t.TempDir(), metrics: reg})
+	if err != nil {
+		pool.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.mux)
+	t.Cleanup(func() {
+		ts.Close()
+		d.close()
+		pool.Close()
+	})
+	return ts, d
+}
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.String()
+}
+
+// TestMetricsEndpoint drives one of every traffic kind through the daemon
+// and asserts the scrape carries every subsystem's families with values
+// that match what happened.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newMetricsServer(t)
+	g := distec.RandomRegular(32, 4, 7)
+	spec := graphToSpec(g)
+
+	// One-shot colors: the same request twice is a miss then a cache hit.
+	for i := 0; i < 2; i++ {
+		resp, body := postColor(t, ts, colorRequest{Graph: spec})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("color %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	// A session with one update batch, then deleted.
+	body, _ := json.Marshal(sessionRequest{Graph: spec})
+	resp, err := http.Post(ts.URL+"/v1/session", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess sessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session create: status %d", resp.StatusCode)
+	}
+	upd, _ := json.Marshal(updateRequest{Updates: []distec.Update{
+		{Op: distec.DeleteEdge, U: int(g.Edges()[0].U), V: int(g.Edges()[0].V)},
+		{Op: distec.InsertEdge, U: int(g.Edges()[0].U), V: int(g.Edges()[0].V)},
+	}})
+	resp, err = http.Post(ts.URL+"/v1/session/"+sess.SessionID+"/update", "application/json", bytes.NewReader(upd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session update: status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+sess.SessionID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	out := scrape(t, ts)
+	for _, want := range []string{
+		// Scheduler and cache (pool shares the registry).
+		"# TYPE distec_serve_jobs_submitted_total counter",
+		"distec_serve_jobs_total{outcome=\"completed\"}",
+		"# TYPE distec_serve_job_seconds histogram",
+		// The repeated one-shot is one hit; the session create serves its
+		// initial coloring from the same entry for the second.
+		"distec_cache_hits_total 2",
+		"distec_cache_misses_total 1",
+		// Daemon HTTP and session lifecycle.
+		"# TYPE distec_http_requests_total counter",
+		"distec_session_creates_total 1",
+		"distec_session_deletes_total 1",
+		"distec_session_updates_total{tier=\"delete\"} 1",
+		"distec_session_updates_total{tier=\"greedy\"}",
+		"# TYPE distec_session_update_seconds histogram",
+		// Persistence (dataDir set, so the WAL saw the batch).
+		"distec_persist_wal_appends_total",
+		"distec_persist_snapshot_writes_total",
+		// Process identity.
+		"# TYPE distec_build_info gauge",
+		"distec_uptime_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", out)
+	}
+}
+
+// TestStatsMatchesMetrics asserts /v1/stats and /metrics are views over the
+// same counters: after traffic quiesces, the JSON counter block must equal
+// the rendered samples.
+func TestStatsMatchesMetrics(t *testing.T) {
+	ts, _ := newMetricsServer(t)
+	g := distec.RandomRegular(24, 3, 5)
+	spec := graphToSpec(g)
+	for i := 0; i < 3; i++ {
+		resp, body := postColor(t, ts, colorRequest{Graph: spec, Seed: uint64(i), Algorithm: "randomized"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("color %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.GoVersion == "" || st.UptimeSeconds <= 0 {
+		t.Fatalf("stats missing build identity: %+v", st)
+	}
+	if st.Submitted != 3 || st.Completed != 3 {
+		t.Fatalf("submitted/completed %d/%d, want 3/3", st.Submitted, st.Completed)
+	}
+	out := scrape(t, ts)
+	for _, want := range []string{
+		fmt.Sprintf("distec_serve_jobs_submitted_total %d", st.Submitted),
+		fmt.Sprintf("distec_serve_jobs_total{outcome=\"completed\"} %d", st.Completed),
+		fmt.Sprintf("distec_cache_misses_total %d", st.CacheMisses),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape disagrees with /v1/stats: missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestPprofGated asserts /debug/pprof/ exists only behind -pprof.
+func TestPprofGated(t *testing.T) {
+	ts, _, _ := newTestServerCfg(t, daemonConfig{})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without flag: status %d, want 404", resp.StatusCode)
+	}
+	ts2, _, _ := newTestServerCfg(t, daemonConfig{pprof: true})
+	resp, err = http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with flag: status %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/distec/distec"
+)
+
+// graphSpec and the request bodies mirror the daemon's wire format (the
+// daemon's own types are unexported; the JSON shape is the contract).
+type graphSpec struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+type colorBody struct {
+	Graph graphSpec `json:"graph"`
+	Seed  uint64    `json:"seed,omitempty"`
+}
+
+type updateBody struct {
+	Updates []edgeUpdate `json:"updates"`
+}
+
+type edgeUpdate struct {
+	Op string `json:"op"`
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// workload owns the pre-encoded request bodies and the shared HTTP client.
+// Everything allocation-heavy happens in prepare(), before the clock
+// starts: the firing path is lookup, POST, drain.
+type workload struct {
+	addr   string
+	client *http.Client
+
+	colorBodies [][]byte // distinct rotating graphs: cache-miss traffic
+	colorIdx    atomic.Uint64
+	cachedBody  []byte // one fixed graph: cache-hit traffic
+	stormBody   []byte // small session graph for create+delete pairs
+
+	churnSession string
+	churnPairs   [][2]int
+	churnBodies  [][]byte
+	churnIdx     atomic.Uint64
+}
+
+func newWorkload(addr string, n, d, bodies int, timeout time.Duration) *workload {
+	// The default transport caps idle conns per host at 2; at hundreds of
+	// concurrent requests against one host that means constant reconnect
+	// churn in the client — measurement noise, not daemon latency.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 1024
+	tr.MaxIdleConnsPerHost = 1024
+	return &workload{
+		addr:        addr,
+		client:      &http.Client{Timeout: timeout, Transport: tr},
+		colorBodies: make([][]byte, 0, bodies),
+		stormBody:   mustJSON(colorBody{Graph: toSpec(distec.RandomRegular(32, 4, 7))}),
+		cachedBody:  mustJSON(colorBody{Graph: toSpec(distec.RandomRegular(n, d, 1))}),
+	}
+}
+
+func toSpec(g *distec.Graph) graphSpec {
+	spec := graphSpec{N: g.N(), Edges: make([][2]int, 0, g.M())}
+	for _, e := range g.Edges() {
+		spec.Edges = append(spec.Edges, [2]int{int(e.U), int(e.V)})
+	}
+	return spec
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// prepare pre-encodes every request body and creates the long-lived churn
+// session on the daemon. Called once before the schedule starts.
+func (w *workload) prepare() error {
+	n, d := dims(w.cachedBody)
+	for i := cap(w.colorBodies); i > 0; i-- {
+		g := distec.RandomRegular(n, d, uint64(1000+i))
+		w.colorBodies = append(w.colorBodies, mustJSON(colorBody{Graph: toSpec(g)}))
+	}
+	// The churn session's graph: every request deletes and reinserts one
+	// rotating edge, so the session ends each batch in its base state and
+	// concurrent batches touch distinct edges.
+	churnGraph := distec.RandomRegular(n, d, 999)
+	spec := toSpec(churnGraph)
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := w.postJSON("/v1/session", mustJSON(colorBody{Graph: spec}), &created); err != nil {
+		return err
+	}
+	w.churnSession = created.SessionID
+	w.churnPairs = spec.Edges
+	w.churnBodies = make([][]byte, len(w.churnPairs))
+	for i, p := range w.churnPairs {
+		w.churnBodies[i] = mustJSON(updateBody{Updates: []edgeUpdate{
+			{Op: "delete", U: p[0], V: p[1]},
+			{Op: "insert", U: p[0], V: p[1]},
+		}})
+	}
+	return nil
+}
+
+// dims recovers (n, d) from the cached body so prepare doesn't need the
+// flags threaded through again.
+func dims(body []byte) (n, d int) {
+	var b colorBody
+	if err := json.Unmarshal(body, &b); err != nil {
+		panic(err)
+	}
+	n = b.Graph.N
+	if n > 0 {
+		d = 2 * len(b.Graph.Edges) / n
+	}
+	return n, d
+}
+
+func (w *workload) cleanup() {
+	if w.churnSession != "" {
+		req, err := http.NewRequest(http.MethodDelete, w.addr+"/v1/session/"+w.churnSession, nil)
+		if err == nil {
+			if resp, err := w.client.Do(req); err == nil {
+				drain(resp)
+			}
+		}
+	}
+}
+
+// fire issues one request of the given class and returns its error, if
+// any. Non-200 statuses are errors: under open-loop overload the daemon's
+// 503s must count against it, not vanish.
+func (w *workload) fire(class int) error {
+	switch classes[class] {
+	case "color":
+		i := w.colorIdx.Add(1)
+		return w.post("/v1/color", w.colorBodies[i%uint64(len(w.colorBodies))])
+	case "cached":
+		return w.post("/v1/color", w.cachedBody)
+	case "churn":
+		i := w.churnIdx.Add(1)
+		return w.post("/v1/session/"+w.churnSession+"/update", w.churnBodies[i%uint64(len(w.churnBodies))])
+	case "storm":
+		var created struct {
+			SessionID string `json:"session_id"`
+		}
+		if err := w.postJSON("/v1/session", w.stormBody, &created); err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodDelete, w.addr+"/v1/session/"+created.SessionID, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := w.client.Do(req)
+		if err != nil {
+			return err
+		}
+		return drain(resp)
+	}
+	panic("unknown class")
+}
+
+func (w *workload) post(path string, body []byte) error {
+	resp, err := w.client.Post(w.addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+func (w *workload) postJSON(path string, body []byte, out any) error {
+	resp, err := w.client.Post(w.addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, snippet)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// drain consumes and closes the response so the connection is reusable,
+// turning non-200s into errors.
+func drain(resp *http.Response) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
+		return fmt.Errorf("%s: status %d: %s", resp.Request.URL.Path, resp.StatusCode, snippet)
+	}
+	_, err := io.Copy(io.Discard, resp.Body)
+	return err
+}

@@ -1,0 +1,45 @@
+package metrics
+
+import "testing"
+
+// The hot-path primitives, measured directly: these bound what
+// instrumentation can cost a pool job (a handful of Incs and Observes per
+// job, against jobs measured in microseconds to milliseconds).
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := New().Counter("bench_total", "bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench_seconds", "bench", LatencyBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.00042)
+		}
+	})
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	reg := New()
+	for i := 0; i < 20; i++ {
+		reg.Counter("bench_total", "bench", "i", string(rune('a'+i))).Add(uint64(i))
+		reg.Histogram("bench_seconds", "bench", LatencyBuckets, "i", string(rune('a'+i))).Observe(float64(i))
+	}
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf discard
+		reg.WritePrometheus(&buf)
+		sink = buf.n
+	}
+	_ = sink
+}
+
+type discard struct{ n int }
+
+func (d *discard) Write(p []byte) (int, error) { d.n += len(p); return len(p), nil }

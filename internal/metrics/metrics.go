@@ -1,0 +1,348 @@
+// Package metrics is a small, dependency-free instrumentation registry:
+// counters, gauges, and fixed-bucket histograms that render themselves in
+// the Prometheus text exposition format (version 0.0.4).
+//
+// The hot paths are lock-free: a Counter increment is one atomic add, a
+// Histogram observation is two atomic adds plus a CAS loop for the sum.
+// The registry lock is taken only at registration and render time, so
+// instrumented code never contends with a scrape.
+//
+// Metrics are identified by a family name plus an ordered list of label
+// pairs; several series of one family share its HELP and TYPE line. Two
+// styles coexist:
+//
+//   - owned metrics (Counter, Gauge, Histogram) the caller updates on its
+//     hot path, and
+//   - callback metrics (CounterFunc, GaugeFunc) read at scrape time —
+//     zero-cost views over counters a subsystem already maintains.
+//
+// Registration panics on misuse (duplicate series, kind mismatch, bad
+// label pairs): these are programming errors, not runtime conditions.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets is the default histogram bucket ladder for request and
+// batch latencies, in seconds: 5 µs up to 10 s, roughly logarithmic. The
+// serving stack spans ~1 µs dynamic updates to multi-second colorings, so
+// the ladder is wider than Prometheus's DefBuckets.
+var LatencyBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Registry holds a set of metric families and renders them as Prometheus
+// text. Create with New; safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one metric name: its HELP/TYPE metadata plus every labeled
+// series registered under it.
+type family struct {
+	name, help, kind string
+	series           map[string]*series // keyed by rendered label signature
+}
+
+// series is one (family, labels) sample source: exactly one of the value
+// fields is set, matching the family kind.
+type series struct {
+	labels string // rendered `{k="v",...}` signature, "" for none
+	c      *Counter
+	cf     func() uint64
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers and returns an owned counter. labels are alternating
+// key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", labels).c = c
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — a view over a monotone counter the caller already maintains.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...string) {
+	r.register(name, help, "counter", labels).cf = fn
+}
+
+// Gauge registers and returns an owned gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", labels).g = g
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, "gauge", labels).gf = fn
+}
+
+// Histogram registers and returns a fixed-bucket histogram. buckets are
+// strictly increasing upper bounds (`le`); the +Inf bucket is implicit.
+// The slice is not retained beyond registration checks — it is copied.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if len(buckets) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram buckets not strictly increasing at %v", buckets[i]))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	r.register(name, help, "histogram", labels).h = h
+	return h
+}
+
+// register validates and inserts one series, returning it for the caller
+// to attach a value source.
+func (r *Registry) register(name, help, kind string, labels []string) *series {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list (want key, value pairs)", name))
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind, kind))
+	}
+	if _, dup := f.series[sig]; dup {
+		panic(fmt.Sprintf("metrics: duplicate series %s%s", name, sig))
+	}
+	s := &series{labels: sig}
+	f.series[sig] = s
+	return s
+}
+
+// labelSignature renders alternating key, value pairs as the series'
+// `{k="v",...}` suffix with label values escaped per the exposition
+// format (backslash, double quote, newline).
+func labelSignature(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families and series in sorted order so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ordered := make([]*family, len(names))
+	for i, name := range names {
+		ordered[i] = r.families[name]
+	}
+	r.mu.Unlock()
+	for _, f := range ordered {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	sigs := make([]string, 0, len(f.series))
+	for sig := range f.series {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		if err := f.series[sig].write(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *series) write(w io.Writer, name string) error {
+	switch {
+	case s.c != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, s.labels, s.c.Load())
+		return err
+	case s.cf != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, s.labels, s.cf())
+		return err
+	case s.g != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(s.g.Value()))
+		return err
+	case s.gf != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(s.gf()))
+		return err
+	case s.h != nil:
+		return s.h.write(w, name, s.labels)
+	}
+	return nil // unreachable: register attaches exactly one source
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; increments are single atomic adds.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a settable value. The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Value returns the current value as a float for rendering.
+func (g *Gauge) Value() float64 { return float64(g.v.Load()) }
+
+// Histogram counts observations into fixed buckets. Observations are
+// lock-free: one atomic add into the bucket plus a CAS loop on the sum.
+// The rendered count is derived from the buckets, so the `+Inf` bucket
+// always equals `_count` even under concurrent observation.
+type Histogram struct {
+	bounds  []float64       // upper bounds (le), strictly increasing
+	counts  []atomic.Uint64 // one per bound, plus the +Inf overflow
+	sumBits atomic.Uint64   // float64 bits of the observation sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, i.e. v ≤ le
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		sum := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(sum)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) write(w io.Writer, name, labels string) error {
+	// The bucket lines carry the series labels plus le; splice le into an
+	// existing label set rather than appending a second brace group.
+	bucketLabels := func(le string) string {
+		if labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return labels[:len(labels)-1] + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, cum)
+	return err
+}

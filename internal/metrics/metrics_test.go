@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"bufio"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden exposition file")
+
+// goldenRegistry builds a registry with one deterministic sample of every
+// metric style the package offers, including label values that need
+// escaping and a HELP string with a backslash.
+func goldenRegistry() *Registry {
+	r := New()
+	jobs := r.Counter("test_jobs_total", "Jobs by outcome.", "outcome", "completed")
+	jobs.Add(12)
+	r.Counter("test_jobs_total", "Jobs by outcome.", "outcome", "failed").Add(3)
+	r.CounterFunc("test_requests_total", `Requests seen (help with a \ backslash).`, func() uint64 { return 40 })
+	r.Gauge("test_queue_depth", "Jobs currently queued.").Set(7)
+	r.GaugeFunc("test_temperature", "A float-valued gauge.", func() float64 { return 36.6 })
+	r.Counter("test_weird_labels_total", "Label escaping.",
+		"path", `C:\tmp`, "quote", `say "hi"`, "line", "a\nb").Inc()
+	h := r.Histogram("test_latency_seconds", "Latency by class.",
+		[]float64{0.001, 0.01, 0.1, 1}, "class", "small")
+	for _, v := range []float64{0.0005, 0.004, 0.004, 0.05, 2.5} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestGoldenExposition(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "golden.prom")
+	if *update {
+		os.MkdirAll("testdata", 0o755)
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from %s (run with -update to regenerate)\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestExpositionWellFormed re-checks the properties the golden file pins,
+// independent of exact bytes: every family has HELP and TYPE lines before
+// its samples, histogram buckets are cumulative, and +Inf equals _count.
+func TestExpositionWellFormed(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	seenType := map[string]bool{}
+	var prevBucket uint64
+	var lastInf, count uint64
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			seenType[parts[2]] = true
+			prevBucket = 0
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !seenType[base] && !seenType[name] {
+			t.Errorf("sample %q appears before its TYPE line", line)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		switch {
+		case strings.Contains(line, "_bucket{"):
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", val, err)
+			}
+			if n < prevBucket {
+				t.Errorf("bucket counts not cumulative: %d after %d in %q", n, prevBucket, line)
+			}
+			prevBucket = n
+			if strings.Contains(line, `le="+Inf"`) {
+				lastInf = n
+			}
+		case strings.HasSuffix(name, "_count"):
+			count, _ = strconv.ParseUint(val, 10, 64)
+		}
+	}
+	if lastInf == 0 || lastInf != count {
+		t.Errorf("+Inf bucket %d != _count %d", lastInf, count)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := New()
+	h := r.Histogram("h_seconds", "h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	// le is inclusive: 1 lands in the first bucket, 2 in the second.
+	wants := []uint64{2, 2, 2, 1}
+	for i, want := range wants {
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d: got %d, want %d", i, got, want)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+4+100; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := map[string]func(r *Registry){
+		"duplicate series": func(r *Registry) {
+			r.Counter("a_total", "a")
+			r.Counter("a_total", "a")
+		},
+		"kind mismatch": func(r *Registry) {
+			r.Counter("a_total", "a")
+			r.Gauge("a_total", "a", "x", "1")
+		},
+		"odd labels":    func(r *Registry) { r.Counter("a_total", "a", "key-without-value") },
+		"empty name":    func(r *Registry) { r.Counter("", "a") },
+		"empty buckets": func(r *Registry) { r.Histogram("h", "h", nil) },
+		"unsorted bucket": func(r *Registry) {
+			r.Histogram("h", "h", []float64{1, 1})
+		},
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn(New())
+		})
+	}
+}
+
+// TestConcurrentScrapeStress hammers the registry from 32 writer
+// goroutines while a scraper renders it continuously — the -race stress
+// the observability layer is gated on. Beyond not racing, the final
+// render must account for every write.
+func TestConcurrentScrapeStress(t *testing.T) {
+	const (
+		writers = 32
+		perG    = 2000
+	)
+	r := New()
+	c := r.Counter("stress_total", "s")
+	g := r.Gauge("stress_gauge", "s")
+	h := r.Histogram("stress_seconds", "s", []float64{0.001, 0.01, 0.1})
+	var extra [writers]*Counter
+	for i := range extra {
+		extra[i] = r.Counter("stress_labeled_total", "s", "writer", strconv.Itoa(i))
+	}
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%100) / 1000)
+				extra[i].Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+	if got := c.Load(); got != writers*perG {
+		t.Errorf("counter = %d, want %d", got, writers*perG)
+	}
+	if got := h.Count(); got != writers*perG {
+		t.Errorf("histogram count = %d, want %d", got, writers*perG)
+	}
+	total := uint64(0)
+	for i := range extra {
+		total += extra[i].Load()
+	}
+	if total != writers*perG {
+		t.Errorf("labeled counters = %d, want %d", total, writers*perG)
+	}
+}

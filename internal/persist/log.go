@@ -35,6 +35,10 @@ type Options struct {
 	// CompactBytes is the WAL size past which NeedsCompaction reports true
 	// (0: DefaultCompactBytes).
 	CompactBytes int64
+	// Metrics, when set, receives the log's persistence counters (WAL
+	// appends and bytes, fsyncs, snapshot writes, compactions, recovery
+	// outcomes). One Metrics set is shared across all the process's logs.
+	Metrics *Metrics
 }
 
 func (o Options) compactBytes() int64 {
@@ -168,10 +172,11 @@ func ScanDir(dir string) (*Snapshot, []Record, ScanInfo, error) {
 func OpenLog(dir string, opts Options) (*Log, *Snapshot, []Record, error) {
 	os.Remove(filepath.Join(dir, snapshotTmpFile)) // stray tmp from a crashed compaction
 	os.Remove(filepath.Join(dir, walTmpFile))      // stray tmp from a crashed open
-	snap, replay, _, err := ScanDir(dir)
+	snap, replay, info, err := ScanDir(dir)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	opts.Metrics.countRecovery(len(replay), info.TornTail)
 	l := &Log{dir: dir, opts: opts}
 	// Rewrite the WAL to exactly the surviving records (tail repair + merge
 	// in one step), via tmp+rename so a crash mid-open is itself safe.
@@ -281,6 +286,7 @@ func (l *Log) Append(rec Record) error {
 			return fmt.Errorf("persist: %w", l.poisoned)
 		}
 	}
+	l.opts.Metrics.countAppend(n, l.opts.Fsync)
 	return nil
 }
 
@@ -311,6 +317,7 @@ func (l *Log) Compact(encodedSnap []byte) error {
 		return err
 	}
 	err := l.finishCompaction(encodedSnap)
+	l.opts.Metrics.countCompaction(err)
 	l.mu.Lock()
 	l.compacting = false
 	if err != nil && l.poisoned == nil {
@@ -331,6 +338,7 @@ func (l *Log) CompactAsync(encodedSnap []byte) error {
 	go func() {
 		defer l.bg.Done()
 		err := l.finishCompaction(encodedSnap)
+		l.opts.Metrics.countCompaction(err)
 		l.mu.Lock()
 		l.compacting = false
 		if err != nil && l.poisoned == nil {
@@ -420,6 +428,7 @@ func (l *Log) writeSnapshotFile(writeSnap func(io.Writer) error) error {
 	if l.opts.Fsync {
 		syncDir(l.dir)
 	}
+	l.opts.Metrics.countSnapshot()
 	return nil
 }
 

@@ -1,0 +1,77 @@
+package persist
+
+import (
+	"sync/atomic"
+
+	"github.com/distec/distec/internal/metrics"
+)
+
+// Metrics collects persistence counters across every Log that shares it
+// (one set per daemon, passed via Options.Metrics): session directories
+// come and go with their sessions, but the WAL/compaction totals are a
+// property of the process. All methods are safe on a nil receiver, so an
+// un-instrumented Log pays only a nil check per event.
+type Metrics struct {
+	appends       atomic.Uint64
+	appendedBytes atomic.Uint64
+	walFsyncs     atomic.Uint64
+	snapshots     atomic.Uint64
+	compactions   atomic.Uint64
+	compactFails  atomic.Uint64
+	recoveries    atomic.Uint64
+	recoveredRecs atomic.Uint64
+	tornTails     atomic.Uint64
+}
+
+// Register exposes the counters on reg as the distec_persist_* families.
+func (m *Metrics) Register(reg *metrics.Registry) {
+	reg.CounterFunc("distec_persist_wal_appends_total", "WAL records appended (one per journaled batch).", m.appends.Load)
+	reg.CounterFunc("distec_persist_wal_appended_bytes_total", "Bytes appended to WALs.", m.appendedBytes.Load)
+	reg.CounterFunc("distec_persist_wal_fsyncs_total", "WAL fsyncs (Fsync mode only).", m.walFsyncs.Load)
+	reg.CounterFunc("distec_persist_snapshot_writes_total", "Snapshot files written (session creation and compaction).", m.snapshots.Load)
+	reg.CounterFunc("distec_persist_compactions_total", "Completed WAL compactions.", m.compactions.Load)
+	reg.CounterFunc("distec_persist_compaction_failures_total", "Failed WAL compactions (the log is poisoned afterwards).", m.compactFails.Load)
+	reg.CounterFunc("distec_persist_recoveries_total", "Session logs opened through crash recovery (OpenLog).", m.recoveries.Load)
+	reg.CounterFunc("distec_persist_recovered_records_total", "WAL records surviving recovery, across sessions.", m.recoveredRecs.Load)
+	reg.CounterFunc("distec_persist_torn_tails_total", "Recoveries that discarded a torn trailing record.", m.tornTails.Load)
+}
+
+func (m *Metrics) countAppend(bytes int, fsynced bool) {
+	if m == nil {
+		return
+	}
+	m.appends.Add(1)
+	m.appendedBytes.Add(uint64(bytes))
+	if fsynced {
+		m.walFsyncs.Add(1)
+	}
+}
+
+func (m *Metrics) countSnapshot() {
+	if m == nil {
+		return
+	}
+	m.snapshots.Add(1)
+}
+
+func (m *Metrics) countCompaction(err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.compactFails.Add(1)
+		return
+	}
+	m.compactions.Add(1)
+}
+
+func (m *Metrics) countRecovery(records int, torn bool) {
+	if m == nil {
+		return
+	}
+	m.recoveries.Add(1)
+	m.recoveredRecs.Add(uint64(records))
+	if torn {
+		m.tornTails.Add(1)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/distec/distec/internal/metrics"
 )
 
 // latWindow is the number of most recent job latencies the quantile window
@@ -14,11 +16,16 @@ const latWindow = 1024
 // metrics is the pool's running instrumentation. Counters are atomics so
 // the hot paths never share a lock; only the latency ring takes one, once
 // per completed job.
-type metrics struct {
+type poolMetrics struct {
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	cancelled atomic.Uint64
+	// rejected counts jobs that never got an admission slot (context done
+	// while waiting, or the pool closed): the queueing-collapse signal an
+	// open-loop load harness watches, split out from cancelled which also
+	// covers mid-job cancellation.
+	rejected atomic.Uint64
 
 	seqRuns    atomic.Uint64
 	slicedRuns atomic.Uint64
@@ -30,12 +37,54 @@ type metrics struct {
 	waiting atomic.Int64
 	running atomic.Int64
 
+	// hist, when non-nil, receives every job latency by outcome on top of
+	// the quantile window (Prometheus histograms for scraping; the window
+	// serves /v1/stats' exact p50/p99). Nil outside registry mode keeps
+	// the un-instrumented hot path identical to before.
+	hist *outcomeHistograms
+
 	latMu sync.Mutex
 	lat   [latWindow]time.Duration
 	latN  int
 }
 
-func (m *metrics) recordLatency(d time.Duration) {
+// outcomeHistograms is the job-latency histogram family, one series per
+// outcome lane so a failing or cancel-heavy lane cannot hide inside the
+// completed lane's distribution.
+type outcomeHistograms struct {
+	completed *metrics.Histogram
+	failed    *metrics.Histogram
+	cancelled *metrics.Histogram
+}
+
+// register exposes the pool's counters on reg as scrape-time views (the
+// hot path keeps its plain atomics) and switches on latency histograms.
+func (m *poolMetrics) register(reg *metrics.Registry, workers, queueDepth int) {
+	u := func(a *atomic.Uint64) func() uint64 { return a.Load }
+	i := func(a *atomic.Int64) func() float64 { return func() float64 { return float64(a.Load()) } }
+	reg.CounterFunc("distec_serve_jobs_submitted_total", "Jobs submitted to the pool (admitted or not).", u(&m.submitted))
+	reg.CounterFunc("distec_serve_jobs_total", "Jobs finished, by outcome.", u(&m.completed), "outcome", "completed")
+	reg.CounterFunc("distec_serve_jobs_total", "Jobs finished, by outcome.", u(&m.failed), "outcome", "failed")
+	reg.CounterFunc("distec_serve_jobs_total", "Jobs finished, by outcome.", u(&m.cancelled), "outcome", "cancelled")
+	reg.CounterFunc("distec_serve_admission_rejected_total", "Jobs that never got an admission slot (context done while queued, or pool closed).", u(&m.rejected))
+	reg.CounterFunc("distec_serve_runs_total", "Protocol executions, by route.", u(&m.seqRuns), "route", "sequential")
+	reg.CounterFunc("distec_serve_runs_total", "Protocol executions, by route.", u(&m.slicedRuns), "route", "sliced")
+	reg.CounterFunc("distec_serve_runs_total", "Protocol executions, by route.", u(&m.fanoutRuns), "route", "fanout")
+	reg.CounterFunc("distec_serve_rounds_total", "LOCAL rounds served.", func() uint64 { return uint64(m.rounds.Load()) })
+	reg.CounterFunc("distec_serve_messages_total", "LOCAL messages served.", func() uint64 { return uint64(m.messages.Load()) })
+	reg.GaugeFunc("distec_serve_queue_waiting", "Jobs blocked on admission.", i(&m.waiting))
+	reg.GaugeFunc("distec_serve_queue_running", "Admitted jobs currently executing.", i(&m.running))
+	reg.GaugeFunc("distec_serve_workers", "Worker lanes.", func() float64 { return float64(workers) })
+	reg.GaugeFunc("distec_serve_queue_depth", "Admission bound (jobs in flight).", func() float64 { return float64(queueDepth) })
+	const help = "Job latency from admission to completion, by outcome."
+	m.hist = &outcomeHistograms{
+		completed: reg.Histogram("distec_serve_job_seconds", help, metrics.LatencyBuckets, "outcome", "completed"),
+		failed:    reg.Histogram("distec_serve_job_seconds", help, metrics.LatencyBuckets, "outcome", "failed"),
+		cancelled: reg.Histogram("distec_serve_job_seconds", help, metrics.LatencyBuckets, "outcome", "cancelled"),
+	}
+}
+
+func (m *poolMetrics) recordLatency(d time.Duration) {
 	m.latMu.Lock()
 	m.lat[m.latN%latWindow] = d
 	m.latN++
@@ -44,7 +93,7 @@ func (m *metrics) recordLatency(d time.Duration) {
 
 // quantiles returns the p50 and p99 job latency over the window (zeros
 // before the first completion).
-func (m *metrics) quantiles() (p50, p99 time.Duration) {
+func (m *poolMetrics) quantiles() (p50, p99 time.Duration) {
 	m.latMu.Lock()
 	n := m.latN
 	if n > latWindow {
@@ -75,6 +124,10 @@ type Stats struct {
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 	Cancelled uint64 `json:"cancelled"`
+	// AdmissionRejected counts jobs that never got an admission slot
+	// (context done while queued, or pool closed) — a subset of Cancelled
+	// and Failed that signals queueing collapse under open-loop load.
+	AdmissionRejected uint64 `json:"admission_rejected"`
 	// Protocol executions by route: whole-on-one-lane sequential, sliced
 	// single-lane, fanned-out multi-lane.
 	SequentialRuns uint64 `json:"sequential_runs"`
@@ -89,24 +142,33 @@ type Stats struct {
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
 }
 
-// Stats returns a snapshot of the pool's metrics.
+// Stats returns a snapshot of the pool's metrics, built in one place so
+// every surface (JSON stats, Prometheus scrape) reads the same counters.
+// The counters are independent atomics, so a truly instantaneous snapshot
+// is impossible without stalling the hot path; instead the reads are
+// ordered so the snapshot's invariants hold: every outcome counter
+// (completed, failed, cancelled) is read BEFORE submitted, so the
+// snapshot can never report more finished jobs than submissions — jobs
+// finishing between the reads inflate submitted, never the outcomes.
 func (p *Pool) Stats() Stats {
 	p50, p99 := p.m.quantiles()
-	return Stats{
-		Workers:        p.workers,
-		QueueDepth:     p.queueDepth,
-		Waiting:        p.m.waiting.Load(),
-		Running:        p.m.running.Load(),
-		Submitted:      p.m.submitted.Load(),
-		Completed:      p.m.completed.Load(),
-		Failed:         p.m.failed.Load(),
-		Cancelled:      p.m.cancelled.Load(),
-		SequentialRuns: p.m.seqRuns.Load(),
-		SlicedRuns:     p.m.slicedRuns.Load(),
-		FanoutRuns:     p.m.fanoutRuns.Load(),
-		Rounds:         p.m.rounds.Load(),
-		Messages:       p.m.messages.Load(),
-		LatencyP50:     p50,
-		LatencyP99:     p99,
+	s := Stats{
+		Workers:           p.workers,
+		QueueDepth:        p.queueDepth,
+		Waiting:           p.m.waiting.Load(),
+		Running:           p.m.running.Load(),
+		AdmissionRejected: p.m.rejected.Load(),
+		Completed:         p.m.completed.Load(),
+		Failed:            p.m.failed.Load(),
+		Cancelled:         p.m.cancelled.Load(),
+		SequentialRuns:    p.m.seqRuns.Load(),
+		SlicedRuns:        p.m.slicedRuns.Load(),
+		FanoutRuns:        p.m.fanoutRuns.Load(),
+		Rounds:            p.m.rounds.Load(),
+		Messages:          p.m.messages.Load(),
+		LatencyP50:        p50,
+		LatencyP99:        p99,
 	}
+	s.Submitted = p.m.submitted.Load()
+	return s
 }

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/distec/distec/internal/graph"
+	"github.com/distec/distec/internal/local"
+	"github.com/distec/distec/internal/metrics"
+)
+
+// TestRegistryExposition wires a pool to a registry, pushes one job down
+// each outcome lane, and checks the scrape and the Stats snapshot agree.
+func TestRegistryExposition(t *testing.T) {
+	reg := metrics.New()
+	p := New(Options{Workers: 2, Metrics: reg})
+	defer p.Close()
+	if p.Workers() != 2 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	if p.Closed() {
+		t.Fatal("Closed() on a live pool")
+	}
+
+	tp := local.EdgeConflict(graph.Cycle(64))
+	out := make([]int, tp.N())
+	if err := p.Do(context.Background(), func(eng local.Engine) error {
+		_, err := eng.Run(tp, floodFactory(3, out), nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("job failed on purpose")
+	if err := p.Do(context.Background(), func(local.Engine) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("failed job: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Do(ctx, func(eng local.Engine) error {
+		_, err := eng.Run(tp, func(v local.View) local.Protocol { return &neverHalt{v: v} }, nil)
+		return err
+	}); err == nil {
+		t.Fatal("cancelled job returned nil")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	scrape := sb.String()
+	for _, want := range []string{
+		"distec_serve_jobs_submitted_total 3",
+		`distec_serve_jobs_total{outcome="completed"} 1`,
+		`distec_serve_jobs_total{outcome="failed"} 1`,
+		`distec_serve_jobs_total{outcome="cancelled"} 1`,
+		`distec_serve_runs_total{route="sequential"}`,
+		"distec_serve_workers 2",
+		"distec_serve_queue_depth 8",
+		`distec_serve_job_seconds_count{outcome="completed"} 1`,
+		`distec_serve_job_seconds_count{outcome="cancelled"} 1`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", scrape)
+	}
+
+	s := p.Stats()
+	if s.Submitted != 3 || s.Completed != 1 || s.Failed != 1 || s.Cancelled != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	// Rejection: a context already done never gets an admission slot once
+	// the queue is full. Fill all 8 slots (queue depth 4×workers) with
+	// jobs parked in their fn, which runs on the submitter's goroutine.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	block := make(chan struct{})
+	release := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go p.Do(context.Background(), func(local.Engine) error { block <- struct{}{}; <-release; return nil })
+	}
+	for i := 0; i < 8; i++ {
+		<-block // every admission slot is now held
+	}
+	if err := p.Do(done, func(local.Engine) error { return nil }); err == nil {
+		t.Fatal("expected rejection")
+	}
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Running != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Stats().AdmissionRejected; got != 1 {
+		t.Fatalf("AdmissionRejected = %d, want 1", got)
+	}
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "distec_serve_admission_rejected_total 1") {
+		t.Error("scrape missing rejection counter")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/distec/distec/internal/local"
+	"github.com/distec/distec/internal/metrics"
 )
 
 // Defaults for Options fields left zero.
@@ -69,6 +70,11 @@ type Options struct {
 	// execution holds its lane before other jobs get a turn. Default:
 	// DefaultSlice.
 	Slice time.Duration
+	// Metrics, when set, exposes the pool's counters and gauges on the
+	// registry (distec_serve_* families) and records per-job latency
+	// histograms by outcome. The counters exist either way; the registry
+	// only adds scrape-time views plus the histogram observations.
+	Metrics *metrics.Registry
 }
 
 // Pool is the shared-lane batch scheduler. Create with New, submit jobs
@@ -88,7 +94,7 @@ type Pool struct {
 	drivers sync.WaitGroup // fanout driver goroutines (may outlive their job)
 	lanes   sync.WaitGroup // worker lane goroutines
 
-	m metrics
+	m poolMetrics
 }
 
 // New starts a pool: Workers lane goroutines ready to execute job tasks.
@@ -116,6 +122,9 @@ func New(o Options) *Pool {
 		slice:      slice,
 		tasks:      make(chan func(), 4*w+16),
 		sem:        make(chan struct{}, q),
+	}
+	if o.Metrics != nil {
+		p.m.register(o.Metrics, w, q)
 	}
 	p.lanes.Add(w)
 	for i := 0; i < w; i++ {
@@ -156,6 +165,7 @@ func (p *Pool) Do(ctx context.Context, fn func(local.Engine) error) error {
 		p.m.waiting.Add(-1)
 	case <-ctx.Done():
 		p.m.waiting.Add(-1)
+		p.m.rejected.Add(1)
 		p.m.cancelled.Add(1)
 		return ctx.Err()
 	}
@@ -163,6 +173,7 @@ func (p *Pool) Do(ctx context.Context, fn func(local.Engine) error) error {
 	if p.closed {
 		p.mu.Unlock()
 		<-p.sem
+		p.m.rejected.Add(1)
 		p.m.failed.Add(1)
 		return ErrClosed
 	}
@@ -179,17 +190,30 @@ func (p *Pool) Do(ctx context.Context, fn func(local.Engine) error) error {
 	// leaked admission slot would shrink the pool forever, and a leaked
 	// jobs.Add would deadlock Close. The panic itself keeps unwinding.
 	defer func() {
-		p.m.recordLatency(time.Since(start))
+		elapsed := time.Since(start)
+		p.m.recordLatency(elapsed)
 		p.m.running.Add(-1)
 		switch {
 		case !finished:
 			p.m.failed.Add(1) // fn panicked
+			if p.m.hist != nil {
+				p.m.hist.failed.Observe(elapsed.Seconds())
+			}
 		case err == nil:
 			p.m.completed.Add(1)
+			if p.m.hist != nil {
+				p.m.hist.completed.Observe(elapsed.Seconds())
+			}
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			p.m.cancelled.Add(1)
+			if p.m.hist != nil {
+				p.m.hist.cancelled.Observe(elapsed.Seconds())
+			}
 		default:
 			p.m.failed.Add(1)
+			if p.m.hist != nil {
+				p.m.hist.failed.Observe(elapsed.Seconds())
+			}
 		}
 		p.jobs.Done()
 		<-p.sem

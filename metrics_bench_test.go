@@ -1,0 +1,67 @@
+package distec
+
+import (
+	"context"
+	"testing"
+
+	"github.com/distec/distec/internal/metrics"
+)
+
+// BenchmarkPoolMetricsOverhead measures what the metrics registry costs on
+// the one-shot color hot path: two identical pools, one bare and one
+// instrumented, computing the same request (cache disabled so every
+// iteration takes the full submit→execute→observe path). The acceptance
+// gate recorded in BENCH_serve.json is instrumented ≤ 2% over bare.
+func BenchmarkPoolMetricsOverhead(b *testing.B) {
+	g := RandomRegular(80, 6, 1)
+	for _, tc := range []struct {
+		name         string
+		instrumented bool
+	}{{"bare", false}, {"instrumented", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var reg *metrics.Registry
+			if tc.instrumented {
+				reg = metrics.New() // fresh per run: families register once
+			}
+			p := NewPool(PoolOptions{Workers: 2, CacheSize: -1, Metrics: reg})
+			defer p.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ColorEdges(ctx, g, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPoolMetricsOverheadCached is the same comparison on the
+// cache-hit path, where a request costs only a lookup and a clone — the
+// worst case for relative overhead, since the absolute work is tiny.
+func BenchmarkPoolMetricsOverheadCached(b *testing.B) {
+	g := RandomRegular(80, 6, 1)
+	for _, tc := range []struct {
+		name         string
+		instrumented bool
+	}{{"bare", false}, {"instrumented", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var reg *metrics.Registry
+			if tc.instrumented {
+				reg = metrics.New()
+			}
+			p := NewPool(PoolOptions{Workers: 2, Metrics: reg})
+			defer p.Close()
+			ctx := context.Background()
+			if _, err := p.ColorEdges(ctx, g, Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ColorEdges(ctx, g, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

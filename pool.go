@@ -8,6 +8,7 @@ import (
 
 	"github.com/distec/distec/internal/listcolor"
 	"github.com/distec/distec/internal/local"
+	"github.com/distec/distec/internal/metrics"
 	"github.com/distec/distec/internal/serve"
 )
 
@@ -46,6 +47,13 @@ type PoolOptions struct {
 	// (Randomized is keyed by its seed), so a cached result is bit-identical
 	// to recomputing it. Negative disables caching. Default: 32.
 	CacheSize int
+	// Metrics, when set, exposes the pool's scheduler counters
+	// (distec_serve_*) and result-cache counters (distec_cache_*) on the
+	// registry, and records per-job latency histograms. The registry type
+	// lives in an internal package, so only code inside this module (the
+	// daemon, benchmarks) can set it; the field is invisible plumbing for
+	// everyone else and nil keeps the pre-registry behavior exactly.
+	Metrics *metrics.Registry
 }
 
 // PoolStats is a point-in-time snapshot of a Pool's metrics.
@@ -68,10 +76,19 @@ type PoolStats struct {
 	SequentialRuns uint64 `json:"sequential_runs"`
 	SlicedRuns     uint64 `json:"sliced_runs"`
 	FanoutRuns     uint64 `json:"fanout_runs"`
+	// AdmissionRejected counts jobs that never got an admission slot
+	// (context done while queued, or pool closed): the queueing-collapse
+	// signal under open-loop load.
+	AdmissionRejected uint64 `json:"admission_rejected"`
 	// CacheHits counts requests served from the result cache (including
 	// single-flight waiters); cached requests do not appear in the job or
-	// run counters above, which cover computed jobs only.
-	CacheHits uint64 `json:"cache_hits"`
+	// run counters above, which cover computed jobs only. CacheMisses
+	// counts requests that computed and filled an entry; CacheCoalesced
+	// the subset of hits that waited on an identical in-flight computation
+	// instead of a ready entry (single-flight deduplication).
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheCoalesced uint64 `json:"cache_coalesced"`
 	// Rounds and Messages total the LOCAL cost served so far.
 	Rounds   int64 `json:"rounds"`
 	Messages int64 `json:"messages"`
@@ -95,9 +112,11 @@ type PoolStats struct {
 // the job's executions within about one round. A Pool is safe for
 // concurrent use; see NewPool, and Close when done.
 type Pool struct {
-	p     *serve.Pool
-	cache *poolCache // nil when disabled
-	hits  atomic.Uint64
+	p         *serve.Pool
+	cache     *poolCache // nil when disabled
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
 }
 
 // NewPool starts a serving pool. Close it when done.
@@ -106,6 +125,7 @@ func NewPool(o PoolOptions) *Pool {
 		Workers:    o.Workers,
 		QueueDepth: o.QueueDepth,
 		SmallJob:   o.SmallJob,
+		Metrics:    o.Metrics,
 	})}
 	size := o.CacheSize
 	if size == 0 {
@@ -113,6 +133,17 @@ func NewPool(o PoolOptions) *Pool {
 	}
 	if size > 0 {
 		p.cache = newPoolCache(size)
+	}
+	if o.Metrics != nil {
+		o.Metrics.CounterFunc("distec_cache_hits_total", "ColorEdges requests served from the result cache (single-flight waiters included).", p.hits.Load)
+		o.Metrics.CounterFunc("distec_cache_misses_total", "ColorEdges requests that computed and filled a cache entry.", p.misses.Load)
+		o.Metrics.CounterFunc("distec_cache_coalesced_total", "Cache hits that waited on an identical in-flight computation (single-flight).", p.coalesced.Load)
+		o.Metrics.GaugeFunc("distec_cache_entries", "Ready entries in the result cache.", func() float64 {
+			if p.cache == nil {
+				return 0
+			}
+			return float64(p.cache.len())
+		})
 	}
 	return p
 }
@@ -134,9 +165,10 @@ func (p *Pool) ColorEdges(ctx context.Context, g *Graph, opts Options) (*Result,
 	key := p.cache.key(g, opts)
 	var entry *cacheEntry
 	for entry == nil {
-		e, owner := p.cache.lookup(key)
+		e, owner, pending := p.cache.lookup(key)
 		if owner {
 			entry = e
+			p.misses.Add(1)
 			continue
 		}
 		res, ok, err := e.wait(ctx)
@@ -145,6 +177,9 @@ func (p *Pool) ColorEdges(ctx context.Context, g *Graph, opts Options) (*Result,
 		}
 		if ok {
 			p.hits.Add(1)
+			if pending {
+				p.coalesced.Add(1)
+			}
 			return res, nil
 		}
 		// The owning computation failed and dropped its entry; re-elect —
@@ -220,26 +255,33 @@ func (p *Pool) color(ctx context.Context, g *Graph, in *listcolor.Instance, opts
 	return res, nil
 }
 
-// Stats returns a snapshot of the pool's metrics.
+// Stats returns a snapshot of the pool's metrics. The cache counters are
+// read hit-before-miss so the snapshot never shows more hits than the
+// misses plus in-flight computations that could have produced them (the
+// inner serve.Pool.Stats orders its own reads the same way).
 func (p *Pool) Stats() PoolStats {
+	hits, coalesced := p.hits.Load(), p.coalesced.Load()
 	s := p.p.Stats()
 	return PoolStats{
-		Workers:        s.Workers,
-		QueueDepth:     s.QueueDepth,
-		Waiting:        s.Waiting,
-		Running:        s.Running,
-		Submitted:      s.Submitted,
-		Completed:      s.Completed,
-		Failed:         s.Failed,
-		Cancelled:      s.Cancelled,
-		SequentialRuns: s.SequentialRuns,
-		SlicedRuns:     s.SlicedRuns,
-		FanoutRuns:     s.FanoutRuns,
-		CacheHits:      p.hits.Load(),
-		Rounds:         s.Rounds,
-		Messages:       s.Messages,
-		LatencyP50:     s.LatencyP50,
-		LatencyP99:     s.LatencyP99,
+		Workers:           s.Workers,
+		QueueDepth:        s.QueueDepth,
+		Waiting:           s.Waiting,
+		Running:           s.Running,
+		Submitted:         s.Submitted,
+		Completed:         s.Completed,
+		Failed:            s.Failed,
+		Cancelled:         s.Cancelled,
+		AdmissionRejected: s.AdmissionRejected,
+		SequentialRuns:    s.SequentialRuns,
+		SlicedRuns:        s.SlicedRuns,
+		FanoutRuns:        s.FanoutRuns,
+		CacheHits:         hits,
+		CacheMisses:       p.misses.Load(),
+		CacheCoalesced:    coalesced,
+		Rounds:            s.Rounds,
+		Messages:          s.Messages,
+		LatencyP50:        s.LatencyP50,
+		LatencyP99:        s.LatencyP99,
 	}
 }
 
