@@ -14,6 +14,7 @@ import (
 	"github.com/distec/distec/internal/pseudoforest"
 	"github.com/distec/distec/internal/randomized"
 	"github.com/distec/distec/internal/sharded"
+	"github.com/distec/distec/internal/trace"
 )
 
 // The benchmarks below regenerate each experiment of DESIGN.md §2 at smoke
@@ -297,6 +298,34 @@ func BenchmarkEngines(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkEnginesTraced is the ring-100k flood with a live tracer: the
+// traced-ON cost — one timestamp pair, one RoundEvent append, and a
+// handful of counter reads per round, amortized over 10⁵ entities.
+// Compare against BenchmarkEngines/ring-100k/sequential (nil tracer);
+// BENCH_trace.json records both sides of the gate.
+func BenchmarkEnginesTraced(b *testing.B) {
+	const rounds = 8
+	tp := local.EdgeConflict(graph.Cycle(100_000))
+	factory := func(v local.View) local.Protocol {
+		return &benchFlood{v: v, rounds: rounds, best: v.Index, out: make([]local.Message, v.Degree)}
+	}
+	var stats local.Stats
+	for i := 0; i < b.N; i++ {
+		tr := trace.New()
+		var err error
+		if stats, err = local.Sequential.Run(tp, factory, &local.Options{Trace: tr}); err != nil {
+			b.Fatal(err)
+		}
+		if stats.Rounds != rounds {
+			b.Fatalf("rounds = %d, want %d", stats.Rounds, rounds)
+		}
+		if got := len(tr.Spans()[0].Rounds); got != rounds {
+			b.Fatalf("traced %d rounds, want %d", got, rounds)
+		}
+	}
+	b.ReportMetric(float64(stats.Messages)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmsg/s")
 }
 
 // Guard: writing all experiment tables to io.Discard at smoke scale is the

@@ -22,23 +22,26 @@ import (
 
 	"github.com/distec/distec"
 	"github.com/distec/distec/internal/graph"
+	"github.com/distec/distec/internal/trace"
 )
 
 func main() {
 	var (
-		inFile  = flag.String("in", "", "read graph from file (edge list; \"-\" or empty with piped stdin)")
-		gen     = flag.String("gen", "", "generate a graph: regular|gnp|geometric|powerlaw|complete|cycle|bipartite|tree")
-		n       = flag.Int("n", 256, "node count for -gen")
-		d       = flag.Int("d", 8, "degree parameter for -gen")
-		p       = flag.Float64("p", 0.05, "edge probability / radius for -gen gnp|geometric")
-		seed    = flag.Uint64("seed", 1, "generator / randomized-algorithm seed")
-		alg     = flag.String("alg", "bko", "algorithm: bko|bko-theory|pr01|greedy-classes|randomized|vizing")
-		engine  = flag.String("engine", "sequential", "engine: sequential|goroutines|sharded")
-		shards  = flag.Int("shards", 0, "worker count for -engine sharded (default: one per core)")
-		palette = flag.Int("palette", 0, "palette size (default 2Δ−1; Δ+1 for -alg vizing)")
-		dump    = flag.Bool("dump", false, "print per-edge colors")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the coloring run to this file (view with go tool pprof)")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		inFile   = flag.String("in", "", "read graph from file (edge list; \"-\" or empty with piped stdin)")
+		gen      = flag.String("gen", "", "generate a graph: regular|gnp|geometric|powerlaw|complete|cycle|bipartite|tree")
+		n        = flag.Int("n", 256, "node count for -gen")
+		d        = flag.Int("d", 8, "degree parameter for -gen")
+		p        = flag.Float64("p", 0.05, "edge probability / radius for -gen gnp|geometric")
+		seed     = flag.Uint64("seed", 1, "generator / randomized-algorithm seed")
+		alg      = flag.String("alg", "bko", "algorithm: bko|bko-theory|pr01|greedy-classes|randomized|vizing")
+		engine   = flag.String("engine", "sequential", "engine: sequential|goroutines|sharded")
+		shards   = flag.Int("shards", 0, "worker count for -engine sharded (default: one per core)")
+		palette  = flag.Int("palette", 0, "palette size (default 2Δ−1; Δ+1 for -alg vizing)")
+		dump     = flag.Bool("dump", false, "print per-edge colors")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the coloring run to this file (view with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		traceOut = flag.String("trace", "", "write a round-resolved execution trace to this file (Chrome trace-event JSON; load in ui.perfetto.dev or chrome://tracing)")
+		traceSum = flag.Bool("trace-summary", false, "print the solve summary (rounds, quiescent rounds, messages, per-phase breakdown)")
 	)
 	flag.Parse()
 
@@ -59,6 +62,11 @@ func main() {
 		Palette:   *palette,
 		Seed:      *seed,
 	}
+	var tr *trace.Trace
+	if *traceOut != "" || *traceSum {
+		tr = trace.New()
+		opts.Trace = tr
+	}
 	// Profile the coloring run alone: graph loading and output are not what
 	// -cpuprofile users are tuning.
 	stopProfile, err := startCPUProfile(*cpuProf)
@@ -76,6 +84,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edgecolor:", err)
 		os.Exit(1)
 	}
+	if err := writeTrace(*traceOut, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "edgecolor:", err)
+		os.Exit(1)
+	}
 	if err := distec.Verify(g, res.Colors); err != nil {
 		fmt.Fprintln(os.Stderr, "edgecolor: OUTPUT INVALID:", err)
 		os.Exit(1)
@@ -89,6 +101,9 @@ func main() {
 		dgn := res.Diagnostics
 		fmt.Printf("bko: sweeps=%d defective=%d classes=%d chain-levels=%d phases=%d deferred=%d sweep-degrees=%v\n",
 			dgn.OuterSweeps, dgn.DefectiveCalls, dgn.ClassInstances, dgn.ChainLevels, dgn.PhaseInstances, dgn.Deferred, dgn.SweepDegrees)
+	}
+	if *traceSum {
+		tr.Summary().Format(os.Stdout)
 	}
 	if *dump {
 		for e := 0; e < g.M(); e++ {
@@ -170,6 +185,24 @@ func startCPUProfile(path string) (stop func(), err error) {
 		pprof.StopCPUProfile()
 		f.Close()
 	}, nil
+}
+
+// writeTrace exports the run's trace as Chrome trace-event JSON to path
+// ("" is a no-op). The document embeds the solve summary under the
+// "summary" key (viewers ignore unknown top-level keys).
+func writeTrace(path string, tr *trace.Trace) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeHeapProfile dumps the heap to path ("" is a no-op), forcing a GC

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/distec/distec/internal/trace"
 )
 
 func TestLoadGraphGenerators(t *testing.T) {
@@ -137,5 +140,47 @@ func TestProfileHelpers(t *testing.T) {
 	}
 	if err := writeHeapProfile(bad); err == nil {
 		t.Error("writeHeapProfile into missing dir: no error")
+	}
+}
+
+// TestWriteTrace pins the -trace export helper: "" is a no-op, a real
+// path gets well-formed Chrome trace-event JSON with the embedded
+// summary, and an unwritable path reports the error.
+func TestWriteTrace(t *testing.T) {
+	if err := writeTrace("", nil); err != nil {
+		t.Fatalf("empty path: %v", err)
+	}
+
+	tr := trace.New()
+	tr.SetLabel("base")
+	s := tr.StartSpan("sequential", 4)
+	s.Round(trace.RoundEvent{Round: 1, Messages: 8, Received: 4, Halted: 4})
+	s.End(nil)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	if err := writeTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		Summary     *trace.Summary    `json:"summary"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not JSON: %v", err)
+	}
+	if doc.Summary == nil || doc.Summary.Rounds != 1 || doc.Summary.Messages != 8 {
+		t.Errorf("embedded summary = %+v, want 1 round / 8 messages", doc.Summary)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events")
+	}
+
+	if err := writeTrace(filepath.Join(dir, "missing", "t.json"), tr); err == nil {
+		t.Error("writeTrace into missing dir: no error")
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -67,6 +68,7 @@ import (
 	"github.com/distec/distec"
 	"github.com/distec/distec/internal/metrics"
 	"github.com/distec/distec/internal/persist"
+	"github.com/distec/distec/internal/trace"
 )
 
 func main() {
@@ -82,6 +84,7 @@ func main() {
 		walCompact = flag.Int64("wal-compact-bytes", persist.DefaultCompactBytes, "compact a session (fresh snapshot, retired WAL) once its WAL exceeds this size")
 		sessionTTL = flag.Duration("session-ttl", 30*time.Minute, "evict dynamic sessions idle longer than this (0: never evict)")
 		pprofFlag  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (CPU, heap, block profiles on the live daemon)")
+		logFormat  = flag.String("log-format", "text", "structured log format on stderr: text or json")
 
 		drive    = flag.String("drive", "", "drive mode: base URL of a running daemon")
 		rate     = flag.Float64("rate", 20, "drive: requests per second")
@@ -107,6 +110,11 @@ func main() {
 		return
 	}
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgecolord:", err)
+		os.Exit(2)
+	}
 	if *fsyncMode != "always" && *fsyncMode != "none" {
 		fmt.Fprintf(os.Stderr, "edgecolord: unknown -fsync mode %q (want always or none)\n", *fsyncMode)
 		os.Exit(2)
@@ -133,14 +141,15 @@ func main() {
 		sessionTTL:   *sessionTTL,
 		pprof:        *pprofFlag,
 		metrics:      reg,
+		logger:       logger,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "edgecolord:", err)
+		logger.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	if *dataDir != "" {
-		fmt.Printf("edgecolord: data dir %s (fsync=%s): %d sessions recovered, %d failed\n",
-			*dataDir, *fsyncMode, d.recovered, d.recoveryFailures)
+		logger.Info("session recovery complete", "data_dir", *dataDir, "fsync", *fsyncMode,
+			"recovered", d.recovered, "failed", d.recoveryFailures)
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -165,14 +174,15 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+		logger.Info("shutdown signal received, draining")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		// Shutdown returns only once in-flight requests have drained (or
 		// the grace period expires); ListenAndServe returns immediately.
 		srv.Shutdown(ctx)
 	}()
-	fmt.Printf("edgecolord: serving on %s (workers=%d queue=%d)\n",
-		*addr, pool.Stats().Workers, pool.Stats().QueueDepth)
+	logger.Info("serving", "addr", *addr,
+		"workers", pool.Stats().Workers, "queue", pool.Stats().QueueDepth)
 	err = srv.ListenAndServe()
 	if errors.Is(err, http.ErrServerClosed) {
 		// Graceful path: wait for the drain before tearing down the pool,
@@ -185,9 +195,21 @@ func main() {
 	// files close cleanly (recovery handles an unclean exit regardless).
 	d.close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "edgecolord:", err)
+		logger.Error("server error", "err", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the daemon's structured logger on stderr: text for
+// humans at a terminal, json for log pipelines.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }
 
 // maxBodyBytes bounds one request body (a 10⁶-edge graph is ~16 MB of JSON).
@@ -260,15 +282,19 @@ type graphSpec struct {
 	Edges [][2]int `json:"edges"`
 }
 
-// colorResponse is the body of a successful POST /v1/color.
+// colorResponse is the body of a successful POST /v1/color. Trace is the
+// round-level solve summary, present only when the request asked for it
+// with ?trace=1 (traced requests bypass the result cache: a cache hit
+// runs zero rounds and would trace as empty).
 type colorResponse struct {
-	Colors     []int   `json:"colors"`
-	Rounds     int     `json:"rounds"`
-	Messages   int64   `json:"messages"`
-	Palette    int     `json:"palette"`
-	ColorsUsed int     `json:"colors_used"`
-	Verified   bool    `json:"verified"`
-	DurationMS float64 `json:"duration_ms"`
+	Colors     []int          `json:"colors"`
+	Rounds     int            `json:"rounds"`
+	Messages   int64          `json:"messages"`
+	Palette    int            `json:"palette"`
+	ColorsUsed int            `json:"colors_used"`
+	Verified   bool           `json:"verified"`
+	DurationMS float64        `json:"duration_ms"`
+	Trace      *trace.Summary `json:"trace,omitempty"`
 }
 
 // statsResponse is the body of GET /v1/stats: the pool snapshot plus the
@@ -346,6 +372,8 @@ type updateResponse struct {
 	Stats      distec.DynamicStats   `json:"stats"`
 	Verified   bool                  `json:"verified"`
 	DurationMS float64               `json:"duration_ms"`
+	// Trace is the round-level repair summary, present under ?trace=1.
+	Trace *trace.Summary `json:"trace,omitempty"`
 }
 
 // daemonConfig is the serve-mode configuration newDaemon needs beyond the
@@ -372,6 +400,9 @@ type daemonConfig struct {
 	// have been created with the same one. newDaemon creates a fresh
 	// registry when nil (tests), losing only the pool families.
 	metrics *metrics.Registry
+	// logger receives the daemon's structured log stream (access lines,
+	// startup, recovery). nil discards — the default for tests.
+	logger *slog.Logger
 }
 
 // session is one registry entry: the live coloring, its durability log
@@ -397,6 +428,9 @@ type server struct {
 	pool  *distec.Pool
 	cfg   daemonConfig
 	start time.Time
+	// logger is cfg.logger, or a discard logger when the config left it
+	// nil (tests), so call sites never test for nil.
+	logger *slog.Logger
 
 	// reg is the one registry behind both GET /metrics and /v1/stats; the
 	// counters below are registered on it, so the two surfaces read the
@@ -418,7 +452,14 @@ type server struct {
 	// recoveryTime observes per-session boot recovery (open + replay +
 	// verify), successes only.
 	recoveryTime *metrics.Histogram
-	persistM     *persist.Metrics
+	// solveRounds/solveQuiescent/roundDuration aggregate the convergence
+	// behavior of traced solves (?trace=1): how many rounds a solve takes,
+	// how many of them were quiescent (pure simulation overhead), and how
+	// long individual rounds run.
+	solveRounds    *metrics.Histogram
+	solveQuiescent *metrics.Histogram
+	roundDuration  *metrics.Histogram
+	persistM       *persist.Metrics
 	// recovered and recoveryFailures count boot-time session recovery
 	// outcomes (written once before the listener opens).
 	recovered        int
@@ -452,6 +493,10 @@ func newDaemon(pool *distec.Pool, cfg daemonConfig) (*server, error) {
 		reg = metrics.New()
 	}
 	s := &server{pool: pool, cfg: cfg, start: time.Now(), reg: reg, sessions: make(map[string]*session), stopSweep: make(chan struct{})}
+	s.logger = cfg.logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
 	s.registerMetrics()
 	if cfg.dataDir != "" {
 		if err := os.MkdirAll(cfg.dataDir, 0o755); err != nil {
@@ -480,8 +525,94 @@ func newDaemon(pool *distec.Pool, cfg daemonConfig) (*server, error) {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	s.mux = mux
+	s.mux = s.accessLog(mux)
 	return s, nil
+}
+
+// requestInfo is the per-request record the access-log middleware and
+// the handlers fill together: the middleware mints the ID and writes the
+// final log line; handlers report the job size they decoded. Handlers
+// run synchronously inside ServeHTTP, so plain fields suffice.
+type requestInfo struct {
+	id string
+	// jobSize is the request's decoded work size — edges for coloring
+	// and session creation, batch updates for session updates; −1 for
+	// requests that carry no job (stats, metrics, health).
+	jobSize int
+}
+
+type requestInfoKey struct{}
+
+// requestFrom returns the request's info record, or nil outside the
+// access-log middleware (direct handler tests).
+func requestFrom(ctx context.Context) *requestInfo {
+	ri, _ := ctx.Value(requestInfoKey{}).(*requestInfo)
+	return ri
+}
+
+// setJobSize records the decoded job size for the access log.
+func setJobSize(ctx context.Context, n int) {
+	if ri := requestFrom(ctx); ri != nil {
+		ri.jobSize = n
+	}
+}
+
+// statusWriter captures the response status for the access log. Unwrap
+// keeps http.NewResponseController (see respond) reaching the real
+// connection's deadline controls through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// accessLog wraps the daemon's mux: accept the client's X-Request-Id (or
+// mint one), echo it on the response, and emit one structured access-log
+// line per request — the ID is the join key between these lines, traced
+// solve summaries, and client-side records.
+func (s *server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = trace.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ri := &requestInfo{id: id, jobSize: -1}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, ri)))
+		status := sw.status
+		if status == 0 {
+			// Nothing was written: net/http sends 200 with an empty body.
+			status = http.StatusOK
+		}
+		attrs := []any{
+			"request_id", id,
+			"method", r.Method,
+			"route", r.URL.Path,
+			"status", status,
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if ri.jobSize >= 0 {
+			attrs = append(attrs, "job_size", ri.jobSize)
+		}
+		s.logger.Info("request", attrs...)
+	})
 }
 
 // registerMetrics creates the daemon's own counters on the registry —
@@ -504,6 +635,9 @@ func (s *server) registerMetrics() {
 		"augmented": reg.Counter("distec_session_updates_total", tiersHelp, "tier", "augmented"),
 	}
 	s.recoveryTime = reg.Histogram("distec_session_recovery_seconds", "Boot-time per-session recovery duration (open, replay, verify), successes only.", metrics.LatencyBuckets)
+	s.solveRounds = reg.Histogram("distec_solve_rounds", "Engine-executed rounds per traced solve (?trace=1 requests only).", roundBuckets)
+	s.solveQuiescent = reg.Histogram("distec_solve_quiescent_rounds", "Quiescent rounds (no messages sent, no entity halted) per traced solve — pure simulation overhead.", roundBuckets)
+	s.roundDuration = reg.Histogram("distec_round_duration_seconds", "Individual engine round duration, observed from traced solves.", metrics.LatencyBuckets)
 	s.persistM = &persist.Metrics{}
 	s.persistM.Register(reg)
 	reg.GaugeFunc("distec_sessions", "Live dynamic sessions.", func() float64 { return float64(s.sessionCount()) })
@@ -513,6 +647,44 @@ func (s *server) registerMetrics() {
 	reg.GaugeFunc("go_goroutines", "Live goroutines.", func() float64 { return float64(runtime.NumGoroutine()) })
 	reg.GaugeFunc("distec_build_info", "Build identity: constant 1, labeled with the Go version and VCS revision.",
 		func() float64 { return 1 }, "go_version", runtime.Version(), "revision", buildRevision())
+}
+
+// roundBuckets is the bucket ladder for round-count histograms: solves
+// range from a handful of rounds (small graphs, dynamic repairs) to the
+// quasi-polylog-in-Δ schedules of large BKO instances.
+var roundBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// tracedRequest reports whether the request opted into round-level
+// tracing with ?trace=1 (or trace=true).
+func tracedRequest(r *http.Request) bool {
+	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
+}
+
+// newRequestTrace builds the tracer for one traced request, stamped with
+// the request ID the access-log middleware minted so the returned
+// summary joins with the access log.
+func newRequestTrace(ctx context.Context) *trace.Trace {
+	tr := trace.New()
+	if ri := requestFrom(ctx); ri != nil {
+		tr.SetRequestID(ri.id)
+	}
+	return tr
+}
+
+// observeTrace feeds one traced solve into the aggregate convergence
+// metrics and returns its summary for the response body.
+func (s *server) observeTrace(tr *trace.Trace) *trace.Summary {
+	sum := tr.Summary()
+	if sum == nil {
+		return nil
+	}
+	s.solveRounds.Observe(float64(sum.Rounds))
+	s.solveQuiescent.Observe(float64(sum.QuiescentRounds))
+	tr.VisitRounds(func(ev trace.RoundEvent) {
+		s.roundDuration.Observe(ev.Duration.Seconds())
+	})
+	return sum
 }
 
 // buildRevision extracts the VCS revision stamped into the binary, or
@@ -558,7 +730,7 @@ func (s *server) persistOptions() persist.Options {
 func (s *server) recoverSessions() {
 	entries, err := os.ReadDir(s.cfg.dataDir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "edgecolord: recovery:", err)
+		s.logger.Error("session recovery: read data dir", "err", err)
 		return
 	}
 	for _, e := range entries {
@@ -569,11 +741,13 @@ func (s *server) recoverSessions() {
 		start := time.Now()
 		sess, err := s.recoverSession(id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "edgecolord: recovery: session %s: %v\n", id, err)
+			s.logger.Error("session recovery failed", "session", id, "err", err)
 			s.recoveryFailures++
 			continue
 		}
 		s.recoveryTime.Observe(time.Since(start).Seconds())
+		s.logger.Info("session recovered", "session", id, "seq", sess.d.Seq(),
+			"duration_ms", float64(time.Since(start).Microseconds())/1000)
 		s.sessions[id] = sess
 		s.recovered++
 	}
@@ -810,10 +984,16 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("palette %d exceeds the daemon's limit of %d", req.Palette, maxPalette))
 		return
 	}
+	setJobSize(r.Context(), g.M())
 	ctx, cancel := context.WithTimeout(r.Context(), jobTimeout(req.TimeoutMS))
 	defer cancel()
 
 	opts := distec.Options{Algorithm: distec.Algorithm(req.Algorithm), Palette: req.Palette, Seed: req.Seed}
+	var tr *trace.Trace
+	if tracedRequest(r) {
+		tr = newRequestTrace(r.Context())
+		opts.Trace = tr
+	}
 	start := time.Now()
 	var res *distec.Result
 	switch {
@@ -862,6 +1042,10 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, fmt.Errorf("OUTPUT INVALID: %w", err))
 		return
 	}
+	var sum *trace.Summary
+	if tr != nil {
+		sum = s.observeTrace(tr)
+	}
 	s.respond(w, http.StatusOK, colorResponse{
 		Colors:     res.Colors,
 		Rounds:     res.Rounds,
@@ -870,6 +1054,7 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 		ColorsUsed: res.ColorsUsed,
 		Verified:   true,
 		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		Trace:      sum,
 	})
 }
 
@@ -903,6 +1088,7 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("palette %d exceeds the daemon's limit of %d", req.Palette, maxPalette))
 		return
 	}
+	setJobSize(r.Context(), g.M())
 	ctx, cancel := context.WithTimeout(r.Context(), jobTimeout(req.TimeoutMS))
 	defer cancel()
 
@@ -996,8 +1182,16 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusConflict, fmt.Errorf("session graph at %d edges (tombstones included) would exceed the daemon's limit of %d; recreate the session to compact it", d.Edges(), maxSessionEdges))
 		return
 	}
+	setJobSize(r.Context(), len(req.Updates))
 	ctx, cancel := context.WithTimeout(r.Context(), jobTimeout(req.TimeoutMS))
 	defer cancel()
+	// The tracer rides the context into the session's repair engine (the
+	// batch has no per-call Options); distec.Dynamic picks it up there.
+	var tr *trace.Trace
+	if tracedRequest(r) {
+		tr = newRequestTrace(r.Context())
+		ctx = trace.NewContext(ctx, tr)
+	}
 
 	sess.touch()
 	sess.inflight.Add(1)
@@ -1043,12 +1237,17 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, fmt.Errorf("OUTPUT INVALID: %w", err))
 		return
 	}
+	var sum *trace.Summary
+	if tr != nil {
+		sum = s.observeTrace(tr)
+	}
 	s.respond(w, http.StatusOK, updateResponse{
 		Results:    results,
 		Seq:        d.Seq(),
 		Stats:      d.Stats(),
 		Verified:   true,
 		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		Trace:      sum,
 	})
 }
 

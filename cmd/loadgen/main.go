@@ -77,8 +77,18 @@ func main() {
 	}
 	defer gen.cleanup()
 
+	// Bracket the run with /metrics scrapes (after prepare, before
+	// cleanup) so the daemon-side deltas cover exactly the scheduled
+	// load, not the workload setup or teardown. A failed scrape degrades
+	// to the client-side-only report rather than failing the run.
+	before, scrapeErr := scrapeMetrics(gen.client, *addr)
 	rep := run(gen, mix, *rate, *duration)
 	rep.Mix, rep.SLOSpec = *mixSpec, *sloSpec
+	if scrapeErr == nil {
+		if after, err := scrapeMetrics(gen.client, *addr); err == nil {
+			rep.Daemon = diffMetrics(before, after)
+		}
+	}
 	violations := rep.checkSLOs(slos)
 	rep.print(os.Stdout, violations)
 	if *benchOut != "" {
@@ -205,6 +215,9 @@ type report struct {
 	Mix           string                  `json:"mix"`
 	SLOSpec       string                  `json:"slo,omitempty"`
 	Classes       map[string]*classReport `json:"classes"`
+	// Daemon holds the server-side counter deltas scraped from GET
+	// /metrics around the run; nil when the scrape failed.
+	Daemon *daemonReport `json:"daemon,omitempty"`
 }
 
 type classReport struct {
@@ -262,6 +275,9 @@ func (r *report) print(w io.Writer, violations []violation) {
 		}
 		fmt.Fprintf(w, "%-8s %8d %7d %8.2fms %8.2fms %8.2fms %8.2fms\n",
 			name, c.Count, c.Errors, c.P50ms, c.P99ms, c.P999ms, c.MaxMs)
+	}
+	if r.Daemon != nil {
+		r.Daemon.print(w)
 	}
 	for _, v := range violations {
 		if v.got < 0 {

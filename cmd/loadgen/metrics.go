@@ -1,0 +1,128 @@
+// Daemon-side observability for a load run: loadgen scrapes the
+// daemon's GET /metrics endpoint before and after the open-loop run and
+// reports counter deltas next to the client-side latency quantiles.
+// Client-side numbers alone cannot distinguish "the daemon computed
+// every request" from "the cache absorbed most of them" or "admission
+// rejected the overflow" — the server-side deltas can.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// scrapeMetrics fetches and parses one Prometheus text exposition from
+// base+/metrics into series-name → value (labels kept verbatim in the
+// key, so distec_serve_jobs_total{outcome="completed"} and its siblings
+// stay distinct). Histogram series are parsed like any other line.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		name, value, ok := parseMetricLine(sc.Text())
+		if ok {
+			out[name] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseMetricLine splits one exposition line into series name (labels
+// included) and value. Comments, blank lines, and malformed lines
+// report ok=false — a scrape must tolerate families it doesn't know.
+func parseMetricLine(line string) (name string, value float64, ok bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", 0, false
+	}
+	// The value is the last space-separated field; the series name is
+	// everything before it (label values may themselves contain spaces,
+	// but never unescaped newlines, so splitting from the right is safe).
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(line[i+1:], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return strings.TrimSpace(line[:i]), v, true
+}
+
+// daemonReport is the server-side view of one load run: counter deltas
+// across the run (before/after scrape), plus end-of-run gauge readings.
+// A nil report means the scrape failed (older daemon, endpoint off) —
+// the run report stays client-side only, as before.
+type daemonReport struct {
+	// Pool scheduler deltas.
+	JobsSubmitted     float64 `json:"jobs_submitted"`
+	JobsCompleted     float64 `json:"jobs_completed"`
+	JobsFailed        float64 `json:"jobs_failed"`
+	JobsCancelled     float64 `json:"jobs_cancelled"`
+	AdmissionRejected float64 `json:"admission_rejected"`
+	Rounds            float64 `json:"rounds"`
+	Messages          float64 `json:"messages"`
+	// Result-cache deltas: how much of the run the daemon never had to
+	// compute.
+	CacheHits      float64 `json:"cache_hits"`
+	CacheMisses    float64 `json:"cache_misses"`
+	CacheCoalesced float64 `json:"cache_coalesced"`
+	// Session lifecycle deltas (the storm class exercises these).
+	SessionCreates   float64 `json:"session_creates"`
+	SessionDeletes   float64 `json:"session_deletes"`
+	SessionEvictions float64 `json:"session_evictions"`
+	// End-of-run gauges (not deltas): queue state the run left behind.
+	QueueWaiting float64 `json:"queue_waiting"`
+	QueueRunning float64 `json:"queue_running"`
+	QueueDepth   float64 `json:"queue_depth"`
+	CacheEntries float64 `json:"cache_entries"`
+}
+
+// diffMetrics folds a before/after scrape pair into the daemon report.
+func diffMetrics(before, after map[string]float64) *daemonReport {
+	d := func(name string) float64 { return after[name] - before[name] }
+	return &daemonReport{
+		JobsSubmitted:     d("distec_serve_jobs_submitted_total"),
+		JobsCompleted:     d(`distec_serve_jobs_total{outcome="completed"}`),
+		JobsFailed:        d(`distec_serve_jobs_total{outcome="failed"}`),
+		JobsCancelled:     d(`distec_serve_jobs_total{outcome="cancelled"}`),
+		AdmissionRejected: d("distec_serve_admission_rejected_total"),
+		Rounds:            d("distec_serve_rounds_total"),
+		Messages:          d("distec_serve_messages_total"),
+		CacheHits:         d("distec_cache_hits_total"),
+		CacheMisses:       d("distec_cache_misses_total"),
+		CacheCoalesced:    d("distec_cache_coalesced_total"),
+		SessionCreates:    d("distec_session_creates_total"),
+		SessionDeletes:    d("distec_session_deletes_total"),
+		SessionEvictions:  d("distec_session_evictions_total"),
+		QueueWaiting:      after["distec_serve_queue_waiting"],
+		QueueRunning:      after["distec_serve_queue_running"],
+		QueueDepth:        after["distec_serve_queue_depth"],
+		CacheEntries:      after["distec_cache_entries"],
+	}
+}
+
+// print renders the daemon block of the human report.
+func (d *daemonReport) print(w io.Writer) {
+	fmt.Fprintf(w, "daemon:   jobs %0.f submitted, %0.f completed, %0.f failed, %0.f rejected; rounds %0.f, messages %0.f\n",
+		d.JobsSubmitted, d.JobsCompleted, d.JobsFailed, d.AdmissionRejected, d.Rounds, d.Messages)
+	fmt.Fprintf(w, "          cache %0.f hits / %0.f misses (%0.f coalesced), %0.f entries; sessions +%0.f/−%0.f (evicted %0.f); queue %0.f waiting, %0.f running\n",
+		d.CacheHits, d.CacheMisses, d.CacheCoalesced, d.CacheEntries,
+		d.SessionCreates, d.SessionDeletes, d.SessionEvictions, d.QueueWaiting, d.QueueRunning)
+}

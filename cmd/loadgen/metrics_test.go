@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMetricLine(t *testing.T) {
+	cases := []struct {
+		line  string
+		name  string
+		value float64
+		ok    bool
+	}{
+		{"distec_serve_rounds_total 42", "distec_serve_rounds_total", 42, true},
+		{`distec_serve_jobs_total{outcome="completed"} 7`, `distec_serve_jobs_total{outcome="completed"}`, 7, true},
+		{"distec_serve_job_seconds_bucket{le=\"0.1\"} 3", "distec_serve_job_seconds_bucket{le=\"0.1\"}", 3, true},
+		{"distec_uptime_seconds 12.75", "distec_uptime_seconds", 12.75, true},
+		{"# HELP distec_serve_rounds_total LOCAL rounds served.", "", 0, false},
+		{"# TYPE distec_serve_rounds_total counter", "", 0, false},
+		{"", "", 0, false},
+		{"justaname", "", 0, false},
+		{"name notanumber", "", 0, false},
+	}
+	for _, c := range cases {
+		name, value, ok := parseMetricLine(c.line)
+		if ok != c.ok || name != c.name || value != c.value {
+			t.Errorf("parseMetricLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, name, value, ok, c.name, c.value, c.ok)
+		}
+	}
+}
+
+func TestScrapeAndDiff(t *testing.T) {
+	exposition := func(rounds, hits int) string {
+		return strings.Join([]string{
+			"# HELP distec_serve_rounds_total LOCAL rounds served.",
+			"# TYPE distec_serve_rounds_total counter",
+			"distec_serve_rounds_total " + strconv.Itoa(rounds),
+			"distec_cache_hits_total " + strconv.Itoa(hits),
+			`distec_serve_jobs_total{outcome="completed"} 5`,
+			"distec_serve_queue_waiting 2",
+			"",
+		}, "\n")
+	}
+	body := exposition(100, 3)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(body))
+	}))
+	defer srv.Close()
+
+	before, err := scrapeMetrics(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body = exposition(175, 10)
+	after, err := scrapeMetrics(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	d := diffMetrics(before, after)
+	if d.Rounds != 75 {
+		t.Errorf("Rounds delta = %v, want 75", d.Rounds)
+	}
+	if d.CacheHits != 7 {
+		t.Errorf("CacheHits delta = %v, want 7", d.CacheHits)
+	}
+	if d.JobsCompleted != 0 {
+		t.Errorf("JobsCompleted delta = %v, want 0", d.JobsCompleted)
+	}
+	// Gauges report the end-of-run reading, not a delta.
+	if d.QueueWaiting != 2 {
+		t.Errorf("QueueWaiting = %v, want 2", d.QueueWaiting)
+	}
+	// Families absent from both scrapes fold to zero, not NaN or panic.
+	if d.SessionEvictions != 0 {
+		t.Errorf("SessionEvictions = %v, want 0", d.SessionEvictions)
+	}
+}
+
+// TestDaemonReportPrint checks the human-readable daemon block carries
+// the server-side counters the scrape diff produced.
+func TestDaemonReportPrint(t *testing.T) {
+	d := &daemonReport{
+		JobsSubmitted: 12, JobsCompleted: 10, JobsFailed: 1, AdmissionRejected: 1,
+		Rounds: 75, Messages: 4200,
+		CacheHits: 7, CacheMisses: 3, CacheCoalesced: 2, CacheEntries: 3,
+		SessionCreates: 4, SessionDeletes: 4, SessionEvictions: 1,
+		QueueWaiting: 2, QueueRunning: 1,
+	}
+	var buf bytes.Buffer
+	d.print(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"12 submitted", "10 completed", "1 failed", "1 rejected",
+		"rounds 75", "messages 4200",
+		"7 hits", "3 misses", "2 coalesced",
+		"2 waiting", "1 running",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("daemon block missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScrapeMetricsErrors: a non-200 exposition endpoint and an
+// unreachable daemon must both surface as scrape errors (the caller
+// degrades to a client-only report).
+func TestScrapeMetricsErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	if _, err := scrapeMetrics(srv.Client(), srv.URL); err == nil {
+		t.Error("scrape of a 503 endpoint reported no error")
+	}
+	if _, err := scrapeMetrics(http.DefaultClient, "http://127.0.0.1:1"); err == nil {
+		t.Error("scrape of an unreachable daemon reported no error")
+	}
+}
+
+// TestQuantileEdges pins the nearest-rank readout at the boundaries the
+// report leans on: empty set, single sample, and q=1 as the max.
+func TestQuantileEdges(t *testing.T) {
+	if got := quantile(nil, 0.99); got != 0 {
+		t.Errorf("quantile(nil) = %v, want 0", got)
+	}
+	one := []time.Duration{5 * time.Millisecond}
+	if got := quantile(one, 0.01); got != 5 {
+		t.Errorf("quantile(one, 0.01) = %v, want 5", got)
+	}
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := quantile(lats, 0.50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := quantile(lats, 1); got != 100 {
+		t.Errorf("max = %v, want 100", got)
+	}
+}
+
+// TestWriteJSONError: an unwritable -bench-out path must report, not
+// silently drop the run record.
+func TestWriteJSONError(t *testing.T) {
+	r := &report{}
+	if err := r.writeJSON(filepath.Join(t.TempDir(), "missing", "out.json")); err == nil {
+		t.Error("writeJSON into a missing dir reported no error")
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := r.writeJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"github.com/distec/distec/internal/pseudoforest"
 	"github.com/distec/distec/internal/randomized"
 	"github.com/distec/distec/internal/sharded"
+	"github.com/distec/distec/internal/trace"
 	"github.com/distec/distec/internal/verify"
 	"github.com/distec/distec/internal/vertexcolor"
 	"github.com/distec/distec/internal/vizing"
@@ -117,6 +118,13 @@ type Options struct {
 	Palette int
 	// Seed feeds the Randomized algorithm's simulated coin flips.
 	Seed uint64
+	// Trace, when non-nil, receives round-resolved execution telemetry
+	// for the run: one span per protocol execution with per-round events,
+	// exportable as Chrome trace-event JSON (Trace.WriteChrome) or rolled
+	// up with Trace.Summary. Traced requests bypass a Pool's result cache
+	// — a cache hit executes no rounds, so there would be nothing to
+	// trace. Nil (the default) costs nothing.
+	Trace *trace.Trace
 }
 
 // Result reports a coloring and its LOCAL-model cost.
@@ -365,6 +373,14 @@ func colorInstance(g *Graph, in *listcolor.Instance, opts Options) (*Result, err
 // engine — the seam shared by the one-shot API (engine from Options) and
 // Pool (a job-bound engine over the shared worker lanes).
 func colorOn(g *Graph, in *listcolor.Instance, opts Options, run local.Engine) (*Result, error) {
+	// The tracer rides on the engine value, not on per-run Options: the
+	// algorithm packages call run.Run with their own Options, and the
+	// wrapper injects the tracer into every one of them. With a nil
+	// tracer Traced returns run unchanged.
+	if opts.Trace != nil {
+		opts.Trace.SetLabel(string(opts.Algorithm))
+	}
+	run = local.Traced(run, opts.Trace)
 	var (
 		colors []int
 		stats  local.Stats
@@ -407,7 +423,11 @@ func colorOn(g *Graph, in *listcolor.Instance, opts Options, run local.Engine) (
 		if ip, ok := run.(interface{ Interrupt() error }); ok {
 			interrupt = ip.Interrupt
 		}
+		// No rounds to trace, but the wall time still earns a span so a
+		// traced Vizing run shows up in summaries and exports.
+		span := opts.Trace.StartSpan("vizing", g.M())
 		colors, stats, err = vizing.Solve(g, in.Active, in.Lists, in.C, interrupt)
+		span.End(err)
 	default:
 		return nil, fmt.Errorf("distec: unknown algorithm %q", opts.Algorithm)
 	}

@@ -12,6 +12,7 @@ import (
 	"github.com/distec/distec/internal/graph"
 	"github.com/distec/distec/internal/local"
 	"github.com/distec/distec/internal/persist"
+	"github.com/distec/distec/internal/trace"
 )
 
 // ErrPaletteExhausted marks dynamic inserts rejected because the session's
@@ -287,7 +288,14 @@ func (d *Dynamic) ApplyBatch(ctx context.Context, updates []Update) ([]UpdateRes
 // applyLocked applies the batch with repairs bound to the given engine and
 // context. Caller holds d.mu.
 func (d *Dynamic) applyLocked(ctx context.Context, eng local.Engine, updates []Update) ([]UpdateResult, error) {
-	d.cur, d.curCtx = eng, ctx
+	// Session updates have no per-call Options, so a tracer arrives on the
+	// context (?trace=1 on the daemon's update endpoint plants it there):
+	// wrapping the batch engine makes every repair execution in this batch
+	// report to it. FromContext is nil without a tracer and Traced then
+	// returns eng unchanged.
+	tr := trace.FromContext(ctx)
+	tr.SetLabel("repair")
+	d.cur, d.curCtx = local.Traced(eng, tr), ctx
 	defer func() { d.cur, d.curCtx = nil, nil }()
 	results := make([]UpdateResult, 0, len(updates))
 	for i, up := range updates {

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
+
+	"github.com/distec/distec/internal/trace"
 )
 
 // TestEngineEquivalence is the cross-engine harness: every Algorithm on a
@@ -115,5 +118,75 @@ func TestEngineEquivalenceListInstance(t *testing.T) {
 func TestUnknownEngineRejected(t *testing.T) {
 	if _, err := ColorEdges(Cycle(8), Options{Engine: "warp-drive"}); err == nil {
 		t.Fatal("accepted unknown engine")
+	}
+}
+
+// TestEngineTraceEquivalence extends the equivalence promise to the
+// execution trace: every engine must report the same span sequence
+// (phase label, entity count, round count) and, round by round, the same
+// engine-invariant counters — messages sent, entities with deliveries,
+// entities halted, entities still active. Durations and per-shard busy
+// times are timing, not semantics, and are excluded.
+func TestEngineTraceEquivalence(t *testing.T) {
+	workloads := []struct {
+		name string
+		g    *Graph
+	}{
+		{"ring", Cycle(48)},
+		{"regular", RandomRegular(40, 6, 17)},
+		{"gnp", GNP(36, 0.12, 23)},
+	}
+	algorithms := []Algorithm{BKO, PR01, Randomized}
+	for _, w := range workloads {
+		for _, alg := range algorithms {
+			t.Run(fmt.Sprintf("%s/%s", w.name, alg), func(t *testing.T) {
+				profile := func(opts Options) []string {
+					tr := trace.New()
+					opts.Trace = tr
+					if _, err := ColorEdges(w.g, opts); err != nil {
+						t.Fatalf("%s/%d: %v", opts.Engine, opts.Shards, err)
+					}
+					var out []string
+					for si, sp := range tr.Spans() {
+						if sp.Err != "" {
+							t.Fatalf("%s/%d: span %d errored: %s", opts.Engine, opts.Shards, si, sp.Err)
+						}
+						out = append(out, fmt.Sprintf("span %d label=%q entities=%d rounds=%d",
+							si, sp.Label, sp.Entities, len(sp.Rounds)))
+						for _, ev := range sp.Rounds {
+							out = append(out, fmt.Sprintf("  round %d msgs=%d recv=%d halted=%d active=%d quiescent=%v",
+								ev.Round, ev.Messages, ev.Received, ev.Halted, ev.Active, ev.Quiescent()))
+						}
+					}
+					return out
+				}
+				want := profile(Options{Algorithm: alg, Seed: 5})
+				if len(want) == 0 {
+					t.Fatal("sequential run produced an empty trace")
+				}
+				variants := []Options{
+					{Algorithm: alg, Seed: 5, Engine: Goroutines},
+					{Algorithm: alg, Seed: 5, Engine: Sharded, Shards: 1},
+					{Algorithm: alg, Seed: 5, Engine: Sharded, Shards: 3},
+					{Algorithm: alg, Seed: 5, Engine: Sharded, Shards: w.g.M() + 1},
+				}
+				for _, opts := range variants {
+					name := string(opts.Engine)
+					if opts.Engine == Sharded {
+						name = fmt.Sprintf("sharded-%d", opts.Shards)
+					}
+					got := profile(opts)
+					if len(got) != len(want) {
+						t.Fatalf("%s: trace has %d lines, want %d\ngot:\n%s\nwant:\n%s",
+							name, len(got), len(want), strings.Join(got, "\n"), strings.Join(want, "\n"))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s: trace line %d = %q, want %q", name, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
 	}
 }

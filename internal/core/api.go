@@ -96,6 +96,7 @@ func (s *Solver) prepare(pairs [][2]int64, active []bool) (local.Stats, error) {
 	for i, oe := range orig {
 		init[i] = oe
 	}
+	local.SetSpanLabel(s.run, "linial")
 	cols, st, err := linial.Reduce(sub, init, m, s.run)
 	if err != nil {
 		return st, fmt.Errorf("core: initial Linial coloring: %w", err)

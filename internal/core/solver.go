@@ -181,6 +181,7 @@ func (s *Solver) solveSlack1(inst instance, depth int) ([]int, local.Stats, erro
 		}
 		s.trace.OuterSweeps++
 
+		local.SetSpanLabel(s.run, "defective")
 		def, err := defective.Color(inst.pairs, cur, beta, s.baseCols, s.baseX, s.run)
 		if err != nil {
 			return nil, stats, err
@@ -273,6 +274,7 @@ func (s *Solver) finishBase(inst instance, cur []bool, colors []int, sideIdxAll 
 		}
 	}
 	stats.Rounds++ // learning the neighbors' colors for the pruning
+	local.SetSpanLabel(s.run, "base")
 	got, st, err := listcolor.SolvePairs(inst.pairs, cur, lists, s.baseCols, s.baseX, s.run)
 	seq(&stats, st)
 	if err != nil {
@@ -400,6 +402,7 @@ func (s *Solver) solveSlackS(inst instance, depth int) ([]int, local.Stats, erro
 		}
 		return out, stats, nil
 	}
+	local.SetSpanLabel(s.run, "base")
 	out, st, err := listcolor.SolvePairs(pairsCur, active, lists, s.baseCols, s.baseX, s.run)
 	seq(&stats, st)
 	if err != nil {

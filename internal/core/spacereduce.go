@@ -37,6 +37,7 @@ type assignResult struct {
 // deg′(e) ≤ 24·H_q·log p · |L′e|/|Le| · deg(e) — in
 // (log p)·(1 + T(2p−1, 1, 2p)) rounds.
 func (s *Solver) assignSubspaces(in assignInput) (assignResult, error) {
+	local.SetSpanLabel(s.run, "chain")
 	m := len(in.pairs)
 	pt := MakePartition(in.size, in.p)
 	q := pt.Q
@@ -315,6 +316,7 @@ func (s *Solver) runE2(in assignInput, assign []int, counts [][]int, level []int
 	if !anyActive(active) {
 		return stats, nil
 	}
+	local.SetSpanLabel(s.run, "chain")
 	choice, st, err := listcolor.SolvePairs(in.pairs, active, lists, s.baseCols, s.baseX, s.run)
 	seq(&stats, st)
 	if err != nil {
@@ -338,6 +340,7 @@ func (s *Solver) solveVirtual(inst instance, depth int) ([]int, local.Stats, err
 		s.trace.VirtualRecursion++
 		return s.solveSlack1(inst, depth+1)
 	}
+	local.SetSpanLabel(s.run, "base")
 	return listcolor.SolvePairs(inst.pairs, inst.active, inst.lists, s.baseCols, s.baseX, s.run)
 }
 

@@ -1,5 +1,7 @@
 package local
 
+import "github.com/distec/distec/internal/trace"
+
 // Engine executes a Protocol on a Topology until every entity halts. The
 // three engines in the repository — Sequential, Goroutines, and the sharded
 // worker-pool engine in internal/sharded — implement identical synchronous
@@ -46,6 +48,60 @@ var Sequential Engine = EngineFunc("sequential", RunSequential)
 // channels per link and barrier-synchronized rounds. It demonstrates that
 // the protocols are honest message-passing programs.
 var Goroutines Engine = EngineFunc("goroutines", RunGoroutines)
+
+// Traced wraps an engine so every Run it executes reports to tr: the
+// wrapper copies the caller's Options (nil included) and injects the
+// tracer, which each engine hands to StartSpan. This is how tracing
+// reaches algorithm packages, which call run.Run with their own Options
+// — the tracer rides on the engine value, not on any one Options
+// struct. A nil tr returns e unchanged, so untraced paths keep the
+// exact engine value (and its type assertions) they had.
+func Traced(e Engine, tr *trace.Trace) Engine {
+	if tr == nil {
+		return e
+	}
+	return &tracedEngine{inner: e, tr: tr}
+}
+
+type tracedEngine struct {
+	inner Engine
+	tr    *trace.Trace
+}
+
+func (e *tracedEngine) Name() string { return e.inner.Name() }
+
+func (e *tracedEngine) Run(t *Topology, f Factory, opts *Options) (Stats, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.Trace = e.tr
+	return e.inner.Run(t, f, &o)
+}
+
+// SetLabel stamps spans started from here on with a phase label (the
+// hook SetSpanLabel reaches through).
+func (e *tracedEngine) SetLabel(label string) { e.tr.SetLabel(label) }
+
+// Interrupt forwards to the inner engine's interrupt hook when it has
+// one (the serving layer's job engine does; the Vizing path polls it by
+// type assertion, which must keep working through the wrapper).
+func (e *tracedEngine) Interrupt() error {
+	if ir, ok := e.inner.(interface{ Interrupt() error }); ok {
+		return ir.Interrupt()
+	}
+	return nil
+}
+
+// SetSpanLabel tags subsequent protocol executions on run with a phase
+// label when run is a traced engine, and is a no-op otherwise. Algorithm
+// packages call it at phase boundaries ("linial", "defective", "chain",
+// "base") without knowing whether tracing is on.
+func SetSpanLabel(run Engine, label string) {
+	if l, ok := run.(interface{ SetLabel(string) }); ok {
+		l.SetLabel(label)
+	}
+}
 
 // ViewOf returns the static local knowledge of entity i, as handed to the
 // Factory by every engine.

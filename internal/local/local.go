@@ -29,6 +29,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/distec/distec/internal/trace"
 )
 
 // Message is an arbitrary LOCAL-model message. A nil Message means
@@ -168,6 +172,12 @@ type Options struct {
 	// concurrent use: the parallel engines may poll it from worker
 	// goroutines.
 	Interrupt func() error
+	// Trace, when non-nil, receives one span per engine run carrying
+	// per-round events (duration, messages, deliveries, halts). Nil — the
+	// default — disables tracing; the disabled cost is one pointer test
+	// per run plus one per round, which is what keeps the engines inside
+	// the ≤2% overhead gate.
+	Trace *trace.Trace
 }
 
 // DefaultMaxRounds is the round cap applied when Options.MaxRounds is unset.
@@ -189,6 +199,16 @@ func (o *Options) Interrupted() error {
 		return nil
 	}
 	return o.Interrupt()
+}
+
+// Tracer returns the configured tracer, tolerating a nil receiver (nil
+// means "tracing off"). Engines call it once per run and hand the result
+// straight to trace.Trace.StartSpan, which is itself nil-safe.
+func (o *Options) Tracer() *trace.Trace {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
 }
 
 // slot identifies one inbox cell for sparse clearing.
@@ -218,7 +238,9 @@ func RunSequential(t *Topology, f Factory, opts *Options) (Stats, error) {
 // Results are identical to RunSequential for deterministic protocols.
 func RunGoroutines(t *Topology, f Factory, opts *Options) (Stats, error) {
 	n := t.N()
+	span := opts.Tracer().StartSpan("goroutines", n)
 	if n == 0 {
+		span.End(nil)
 		return Stats{}, nil
 	}
 	// One channel per directed link, capacity 1: within a round each link
@@ -238,6 +260,34 @@ func RunGoroutines(t *Topology, f Factory, opts *Options) (Stats, error) {
 	)
 	limit := opts.RoundLimit()
 	barrier := newBarrier(n)
+	// Tracing hooks: entities accumulate the round's sends and deliveries
+	// in two atomics, and the LAST arrival at the second-phase barrier —
+	// which already holds the barrier mutex, so every entity's writes
+	// this round happen-before it — emits the round event and resets
+	// them. Untraced runs never touch the atomics and pay one nil test
+	// per round at the barrier.
+	var rSent, rReceived atomic.Int64
+	traced := span != nil
+	if traced {
+		prevDone := 0
+		lastEnd := time.Now()
+		round := 0
+		barrier.onEnd = func() {
+			round++
+			now := time.Now()
+			halted := barrier.doneCount - prevDone
+			prevDone = barrier.doneCount
+			span.Round(trace.RoundEvent{
+				Round:    round,
+				Duration: now.Sub(lastEnd),
+				Messages: rSent.Swap(0),
+				Received: int(rReceived.Swap(0)),
+				Halted:   halted,
+				Active:   n - barrier.doneCount,
+			})
+			lastEnd = now
+		}
+	}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -284,12 +334,16 @@ func RunGoroutines(t *Topology, f Factory, opts *Options) (Stats, error) {
 						barrier.cancel()
 						break
 					}
+					prevSent := sent
 					for p, msg := range out {
 						if msg == nil {
 							continue
 						}
 						chans[t.Ports[i][p]][t.Back[i][p]] <- msg
 						sent++
+					}
+					if traced && sent > prevSent {
+						rSent.Add(sent - prevSent)
 					}
 				}
 				// Barrier 1: all sends for round r complete.
@@ -309,6 +363,9 @@ func RunGoroutines(t *Topology, f Factory, opts *Options) (Stats, error) {
 					}
 				}
 				if !done {
+					if traced && drained > 0 {
+						rReceived.Add(1)
+					}
 					if drained == 0 && sparse != nil {
 						done = sparse.ReceiveNone(r)
 					} else {
@@ -338,6 +395,7 @@ func RunGoroutines(t *Topology, f Factory, opts *Options) (Stats, error) {
 		}(i)
 	}
 	wg.Wait()
+	span.End(firstErr)
 	if firstErr != nil {
 		return Stats{}, firstErr
 	}
@@ -354,6 +412,10 @@ type barrier struct {
 	phase     uint64
 	doneCount int
 	cancelled bool
+	// onEnd, when non-nil, is invoked by the LAST second-phase arrival of
+	// every completed round, while the barrier mutex is held — the
+	// engine's per-round trace emission point. It must not block.
+	onEnd func()
 }
 
 func newBarrier(n int) *barrier {
@@ -405,6 +467,9 @@ func (b *barrier) waitEnd() (bool, bool) {
 	if b.arrived == b.n {
 		b.arrived = 0
 		b.phase++
+		if b.onEnd != nil {
+			b.onEnd()
+		}
 		b.cond.Broadcast()
 		return b.doneCount == b.n, !b.cancelled
 	}

@@ -3,6 +3,8 @@ package local
 import (
 	"fmt"
 	"time"
+
+	"github.com/distec/distec/internal/trace"
 )
 
 // SeqExec is the step-driven form of the sequential engine: Prepare the
@@ -33,6 +35,9 @@ type SeqExec struct {
 	stats Stats
 	err   error
 	done  bool
+	// span is the trace span for this execution (nil when tracing is off;
+	// every use is behind a nil test, the whole disabled cost).
+	span *trace.Span
 }
 
 // NewSeqExec constructs the per-entity protocol state for a step-driven
@@ -51,6 +56,7 @@ func NewSeqExec(t *Topology, f Factory, opts *Options) *SeqExec {
 		gotMsg:   make([]int32, n),
 		order:    make([]int32, n),
 		limit:    opts.RoundLimit(),
+		span:     opts.Tracer().StartSpan("sequential", n),
 	}
 	for i := 0; i < n; i++ {
 		x.procs[i] = f(t.ViewOf(i))
@@ -74,6 +80,14 @@ func (x *SeqExec) Done() bool { return x.done }
 // RunSequential would have returned; final once Done reports true.
 func (x *SeqExec) Stats() (Stats, error) { return x.stats, x.err }
 
+// finish marks the execution done and closes the trace span; it always
+// returns true so the Round early-exits can tail-call it.
+func (x *SeqExec) finish() bool {
+	x.done = true
+	x.span.End(x.err)
+	return true
+}
+
 // Round executes one synchronous round. It returns true once the execution
 // has finished; further calls are no-ops.
 func (x *SeqExec) Round() bool {
@@ -81,20 +95,22 @@ func (x *SeqExec) Round() bool {
 		return true
 	}
 	if len(x.order) == 0 {
-		x.done = true
-		return true
+		return x.finish()
 	}
 	r := x.r + 1
 	x.r = r
 	if r > x.limit {
 		x.err = fmt.Errorf("%w (limit %d)", ErrRoundLimit, x.limit)
-		x.done = true
-		return true
+		return x.finish()
 	}
 	if err := x.opts.Interrupted(); err != nil {
 		x.err = err
-		x.done = true
-		return true
+		return x.finish()
+	}
+	var roundStart time.Time
+	prevMsgs := x.stats.Messages
+	if x.span != nil {
+		roundStart = time.Now()
 	}
 	x.stats.Rounds = r
 	t, cur := x.t, x.cur
@@ -118,8 +134,7 @@ func (x *SeqExec) Round() bool {
 		}
 		if len(out) != len(t.Ports[i]) {
 			x.err = fmt.Errorf("local: entity %d sent %d messages, has %d ports", i, len(out), len(t.Ports[i]))
-			x.done = true
-			return true
+			return x.finish()
 		}
 		for p, msg := range out {
 			if msg == nil {
@@ -136,16 +151,22 @@ func (x *SeqExec) Round() bool {
 	x.inboxes, x.next = x.next, x.inboxes
 	x.cur = 1 - cur
 	w := 0
+	received := 0
+	before := len(x.order)
 	for _, i32 := range x.order {
 		i := int(i32)
-		if x.wake[i] > r && x.gotMsg[i] == 0 {
+		got := x.gotMsg[i]
+		if x.wake[i] > r && got == 0 {
 			// Sleeping and nothing arrived: skip by contract.
 			x.order[w] = i32
 			w++
 			continue
 		}
+		if got != 0 {
+			received++
+		}
 		var done bool
-		if x.gotMsg[i] == 0 && x.sparse[i] != nil {
+		if got == 0 && x.sparse[i] != nil {
 			done = x.sparse[i].ReceiveNone(r)
 			if !done && x.sleepers[i] != nil {
 				x.wake[i] = x.sleepers[i].NextWake(r)
@@ -160,9 +181,18 @@ func (x *SeqExec) Round() bool {
 		}
 	}
 	x.order = x.order[:w]
+	if x.span != nil {
+		x.span.Round(trace.RoundEvent{
+			Round:    r,
+			Duration: time.Since(roundStart),
+			Messages: x.stats.Messages - prevMsgs,
+			Received: received,
+			Halted:   before - w,
+			Active:   w,
+		})
+	}
 	if len(x.order) == 0 {
-		x.done = true
-		return true
+		return x.finish()
 	}
 	return false
 }

@@ -93,6 +93,7 @@ type RunStats struct {
 func (e *Engine) Run(t *local.Topology, f local.Factory, opts *local.Options) (local.Stats, error) {
 	start := time.Now()
 	n := t.N()
+	span := opts.Tracer().StartSpan(e.Name(), n)
 	shards := e.cfg.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -104,6 +105,7 @@ func (e *Engine) Run(t *local.Topology, f local.Factory, opts *local.Options) (l
 		if e.cfg.Collect != nil {
 			e.cfg.Collect(&RunStats{Wall: time.Since(start)})
 		}
+		span.End(nil)
 		return local.Stats{}, nil
 	}
 
@@ -116,9 +118,11 @@ func (e *Engine) Run(t *local.Topology, f local.Factory, opts *local.Options) (l
 	shardOf := shardMap(bounds, n)
 
 	workers := make([]*worker, shards)
-	st := &runState{limit: opts.RoundLimit(), interrupt: interruptOf(opts), active: make([]int64, shards)}
+	st := &runState{limit: opts.RoundLimit(), interrupt: interruptOf(opts), active: make([]int64, shards), span: span, lastEnd: start}
 	ph := newPhaser(shards)
-	timed := e.cfg.Collect != nil
+	// Tracing needs the phase timers on: per-round ShardBusy is the busy
+	// deltas, and skew between shards is the partitioner's imbalance.
+	timed := e.cfg.Collect != nil || span != nil
 	var wg sync.WaitGroup
 	wg.Add(shards)
 	for s := 0; s < shards; s++ {
@@ -161,5 +165,7 @@ func (e *Engine) Run(t *local.Topology, f local.Factory, opts *local.Options) (l
 		}
 		e.cfg.Collect(rs)
 	}
-	return stats, st.getErr()
+	err := st.getErr()
+	span.End(err)
+	return stats, err
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/distec/distec/internal/local"
+	"github.com/distec/distec/internal/trace"
 )
 
 // Executor schedules tasks onto workers owned by someone else. It is the
@@ -52,6 +54,11 @@ type Exec struct {
 	r       int
 	done    bool
 	stats   local.Stats
+	// span is the trace span of this execution (nil when tracing is off);
+	// prevSent tracks the workers' cumulative send counters between
+	// rounds. Only the driving goroutine touches either.
+	span     *trace.Span
+	prevSent int64
 }
 
 // Prepare partitions the topology into at most shards blocks (≤0 selects
@@ -66,9 +73,10 @@ func Prepare(t *local.Topology, f local.Factory, opts *local.Options, shards int
 	if shards > n {
 		shards = n
 	}
-	x := &Exec{t: t, opts: opts}
+	x := &Exec{t: t, opts: opts, span: opts.Tracer().StartSpan("sharded", n)}
 	if n == 0 {
 		x.done = true
+		x.span.End(nil)
 		return x
 	}
 	weights := make([]int, n)
@@ -172,6 +180,10 @@ func (x *Exec) Round(exec Executor) bool {
 			return x.finish()
 		}
 	}
+	var roundStart time.Time
+	if x.span != nil {
+		roundStart = time.Now()
+	}
 	x.stats.Rounds = r
 	x.each(exec, func(_ int, w *worker) {
 		w.sendPhase(r, x.par, x.t, x.shardOf, st)
@@ -185,6 +197,24 @@ func (x *Exec) Round(exec Executor) bool {
 	total := 0
 	for _, w := range x.workers {
 		total += len(w.active)
+	}
+	if x.span != nil && st.getErr() == nil {
+		var msgs int64
+		received, halted := 0, 0
+		for _, w := range x.workers {
+			msgs += w.sent
+			received += w.rReceived
+			halted += w.rHalted
+		}
+		msgs, x.prevSent = msgs-x.prevSent, msgs
+		x.span.Round(trace.RoundEvent{
+			Round:    r,
+			Duration: time.Since(roundStart),
+			Messages: msgs,
+			Received: received,
+			Halted:   halted,
+			Active:   total,
+		})
 	}
 	if total == 0 || st.getErr() != nil {
 		return x.finish()
@@ -200,5 +230,6 @@ func (x *Exec) finish() bool {
 	for _, w := range x.workers {
 		x.stats.Messages += w.sent
 	}
+	x.span.End(x.st.getErr())
 	return true
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/distec/distec/internal/local"
+	"github.com/distec/distec/internal/trace"
 )
 
 // phaser is a reusable barrier for the worker pool. The last worker to
@@ -62,9 +63,50 @@ type runState struct {
 	stop      bool
 	rounds    int
 
+	// span, when non-nil, receives one event per completed round, emitted
+	// from the end-of-round phaser hook (lastEnd tracks the previous
+	// emission time). The hook holds the phaser lock, so every worker's
+	// per-round counters are visible without extra synchronization.
+	span    *trace.Span
+	lastEnd time.Time
+
 	errMu     sync.Mutex
 	err       error
 	errEntity int // lowest-index entity that reported err, for determinism
+}
+
+// emitRound rolls the workers' per-round counters into one trace event.
+// Called only from a phaser onLast hook (phaser lock held) and only when
+// span is non-nil and the round completed without error.
+func (st *runState) emitRound(r int, workers []*worker, timed bool) {
+	now := time.Now()
+	var msgs int64
+	received, halted, active := 0, 0, 0
+	var busy []time.Duration
+	if timed {
+		busy = make([]time.Duration, len(workers))
+	}
+	for s, w := range workers {
+		msgs += w.sent - w.prevSent
+		w.prevSent = w.sent
+		received += w.rReceived
+		halted += w.rHalted
+		active += len(w.active)
+		if timed {
+			busy[s] = w.busy - w.prevBusy
+			w.prevBusy = w.busy
+		}
+	}
+	st.span.Round(trace.RoundEvent{
+		Round:     r,
+		Duration:  now.Sub(st.lastEnd),
+		Messages:  msgs,
+		Received:  received,
+		Halted:    halted,
+		Active:    active,
+		ShardBusy: busy,
+	})
+	st.lastEnd = now
 }
 
 // recordErr keeps the error of the lowest-index reporting entity so the
@@ -113,6 +155,14 @@ type worker struct {
 	sent      int64
 	delivered int64
 	busy      time.Duration
+
+	// Per-round trace counters: receivePhase records the entities that had
+	// a delivery and the entities that halted; the end-of-round hook reads
+	// them and tracks cumulative-counter deltas via prevSent/prevBusy.
+	rReceived int
+	rHalted   int
+	prevSent  int64
+	prevBusy  time.Duration
 }
 
 func newWorker(id, lo, hi, shards int, t *local.Topology, f local.Factory) *worker {
@@ -206,14 +256,20 @@ func (w *worker) deliverPhase(par int, workers []*worker) {
 // line-for-line mirror of RunSequential so results stay bit-identical.
 func (w *worker) receivePhase(r, par int) {
 	keep := w.active[:0]
+	received := 0
+	before := len(w.active)
 	for _, i32 := range w.active {
 		li := int(i32) - w.lo
-		if w.wake[li] > r && w.gotMsg[li] == 0 {
+		got := w.gotMsg[li]
+		if w.wake[li] > r && got == 0 {
 			keep = append(keep, i32)
 			continue
 		}
+		if got != 0 {
+			received++
+		}
 		var done bool
-		if w.gotMsg[li] == 0 && w.sparse[li] != nil {
+		if got == 0 && w.sparse[li] != nil {
 			done = w.sparse[li].ReceiveNone(r)
 			if !done && w.sleepers[li] != nil {
 				w.wake[li] = w.sleepers[li].NextWake(r)
@@ -227,6 +283,7 @@ func (w *worker) receivePhase(r, par int) {
 		}
 	}
 	w.active = keep
+	w.rReceived, w.rHalted = received, before-len(keep)
 }
 
 // loop is the per-worker round loop. Each round costs two barriers across
@@ -271,6 +328,9 @@ func (w *worker) loop(t *local.Topology, st *runState, ph *phaser, shardOf []int
 				if err := st.interrupt(); err != nil {
 					st.recordErr(-1, err)
 				}
+			}
+			if st.span != nil && st.err == nil {
+				st.emitRound(r, workers, timed)
 			}
 			var total int64
 			for _, c := range st.active {

@@ -1,0 +1,24 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tr. Attaching a nil trace returns ctx
+// unchanged, so callers can thread an optional tracer without testing
+// it first.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The dynamic
+// layer uses this: session updates can't take per-call options, so the
+// request handler parks the tracer on the context and the batch engine
+// picks it up at apply time.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Summary is the solve-level rollup of a trace: totals, the per-phase
+// breakdown in first-execution order, and the most expensive rounds.
+// It is what -trace-summary prints, what ?trace=1 returns inline, and
+// what rides inside the exported Chrome document.
+type Summary struct {
+	RequestID       string  `json:"request_id,omitempty"`
+	WallMS          float64 `json:"wall_ms"`
+	Spans           int     `json:"spans"`
+	Rounds          int     `json:"rounds"`
+	QuiescentRounds int     `json:"quiescent_rounds"`
+	Messages        int64   `json:"msgs_total"`
+
+	Phases    []PhaseSummary `json:"phases,omitempty"`
+	TopRounds []TopRound     `json:"top_rounds,omitempty"`
+}
+
+// PhaseSummary aggregates every span sharing one phase label.
+type PhaseSummary struct {
+	Label           string  `json:"label"`
+	Spans           int     `json:"spans"`
+	Rounds          int     `json:"rounds"`
+	QuiescentRounds int     `json:"quiescent_rounds"`
+	Messages        int64   `json:"messages"`
+	WallMS          float64 `json:"wall_ms"`
+}
+
+// TopRound identifies one expensive round: where it ran and what it
+// moved.
+type TopRound struct {
+	Span       int     `json:"span"`
+	Label      string  `json:"label"`
+	Engine     string  `json:"engine"`
+	Round      int     `json:"round"`
+	DurationMS float64 `json:"duration_ms"`
+	Messages   int64   `json:"messages"`
+	Received   int     `json:"received"`
+}
+
+// topRoundCount bounds the TopRounds list; 3 is the acceptance
+// criterion's "top-3 most expensive rounds".
+const topRoundCount = 3
+
+// Summary rolls the trace up. Nil-safe: a nil trace summarizes to nil.
+func (t *Trace) Summary() *Summary {
+	if t == nil {
+		return nil
+	}
+	spans := t.snapshot()
+	t.mu.Lock()
+	sum := &Summary{
+		RequestID: t.reqID,
+		WallMS:    float64(time.Since(t.epoch)) / float64(time.Millisecond),
+		Spans:     len(spans),
+	}
+	t.mu.Unlock()
+
+	byLabel := map[string]*PhaseSummary{}
+	var order []string
+	var top []TopRound
+	for i, s := range spans {
+		label := s.Label
+		if label == "" {
+			label = s.Engine
+		}
+		ph := byLabel[label]
+		if ph == nil {
+			ph = &PhaseSummary{Label: label}
+			byLabel[label] = ph
+			order = append(order, label)
+		}
+		ph.Spans++
+		ph.WallMS += float64(s.Wall) / float64(time.Millisecond)
+		for _, ev := range s.Rounds {
+			sum.Rounds++
+			sum.Messages += ev.Messages
+			ph.Rounds++
+			ph.Messages += ev.Messages
+			if ev.Quiescent() {
+				sum.QuiescentRounds++
+				ph.QuiescentRounds++
+			}
+			top = append(top, TopRound{
+				Span: i, Label: label, Engine: s.Engine, Round: ev.Round,
+				DurationMS: float64(ev.Duration) / float64(time.Millisecond),
+				Messages:   ev.Messages, Received: ev.Received,
+			})
+			// Keep the candidate list small: sort and clip once it doubles.
+			if len(top) >= 2*topRoundCount {
+				sortTop(top)
+				top = top[:topRoundCount]
+			}
+		}
+	}
+	sortTop(top)
+	if len(top) > topRoundCount {
+		top = top[:topRoundCount]
+	}
+	sum.TopRounds = top
+	for _, label := range order {
+		sum.Phases = append(sum.Phases, *byLabel[label])
+	}
+	return sum
+}
+
+func sortTop(top []TopRound) {
+	sort.SliceStable(top, func(i, j int) bool { return top[i].DurationMS > top[j].DurationMS })
+}
+
+// Format writes the human-readable summary (-trace-summary output).
+func (s *Summary) Format(w io.Writer) {
+	if s == nil {
+		fmt.Fprintln(w, "trace: (disabled)")
+		return
+	}
+	fmt.Fprintf(w, "trace: %d spans, %d rounds (%d quiescent), %d messages, wall %.1fms",
+		s.Spans, s.Rounds, s.QuiescentRounds, s.Messages, s.WallMS)
+	if s.RequestID != "" {
+		fmt.Fprintf(w, ", request %s", s.RequestID)
+	}
+	fmt.Fprintln(w)
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(w, "%-12s %6s %8s %10s %12s %10s\n", "phase", "spans", "rounds", "quiescent", "messages", "wall")
+		for _, ph := range s.Phases {
+			fmt.Fprintf(w, "%-12s %6d %8d %10d %12d %8.1fms\n",
+				ph.Label, ph.Spans, ph.Rounds, ph.QuiescentRounds, ph.Messages, ph.WallMS)
+		}
+	}
+	for i, tr := range s.TopRounds {
+		fmt.Fprintf(w, "top round %d: %s round %d (%s) — %.3fms, %d messages, %d received\n",
+			i+1, tr.Label, tr.Round, tr.Engine, tr.DurationMS, tr.Messages, tr.Received)
+	}
+}

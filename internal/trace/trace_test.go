@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilSafety pins the disabled-tracer contract: every method on a nil
+// *Trace and nil *Span must be a no-op, because the engines call through
+// unconditionally.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.SetLabel("phase")
+	tr.SetRequestID("id")
+	if got := tr.RequestID(); got != "" {
+		t.Errorf("nil RequestID = %q, want empty", got)
+	}
+	span := tr.StartSpan("sequential", 10)
+	if span != nil {
+		t.Fatal("nil trace must start nil spans")
+	}
+	span.Round(RoundEvent{Round: 1})
+	span.End(errors.New("ignored"))
+	if spans := tr.Spans(); spans != nil {
+		t.Errorf("nil Spans = %v, want nil", spans)
+	}
+	tr.VisitRounds(func(RoundEvent) { t.Error("nil trace visited a round") })
+	if sum := tr.Summary(); sum != nil {
+		t.Errorf("nil Summary = %v, want nil", sum)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil WriteChrome emitted invalid JSON: %v", err)
+	}
+	buf.Reset()
+	var sum *Summary
+	sum.Format(&buf)
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Errorf("nil Summary.Format = %q, want a disabled marker", buf.String())
+	}
+}
+
+// buildTrace assembles a deterministic two-phase trace by hand.
+func buildTrace() *Trace {
+	tr := New()
+	tr.SetLabel("defective")
+	s1 := tr.StartSpan("sequential", 100)
+	s1.Round(RoundEvent{Round: 1, Duration: 4 * time.Millisecond, Messages: 50, Received: 40, Halted: 0, Active: 100})
+	s1.Round(RoundEvent{Round: 2, Duration: 2 * time.Millisecond, Messages: 0, Received: 10, Halted: 0, Active: 100})
+	s1.Round(RoundEvent{Round: 3, Duration: 1 * time.Millisecond, Messages: 30, Received: 30, Halted: 100, Active: 0})
+	s1.End(nil)
+	tr.SetLabel("base")
+	s2 := tr.StartSpan("sharded-2", 60)
+	s2.Round(RoundEvent{Round: 1, Duration: 8 * time.Millisecond, Messages: 20, Received: 20, Halted: 60, Active: 0,
+		ShardBusy: []time.Duration{3 * time.Millisecond, 5 * time.Millisecond}})
+	s2.End(nil)
+	return tr
+}
+
+func TestSummaryRollup(t *testing.T) {
+	tr := buildTrace()
+	tr.SetRequestID("req-1")
+	sum := tr.Summary()
+	if sum.RequestID != "req-1" {
+		t.Errorf("RequestID = %q", sum.RequestID)
+	}
+	if sum.Spans != 2 || sum.Rounds != 4 || sum.Messages != 100 {
+		t.Errorf("totals = %d spans / %d rounds / %d msgs, want 2/4/100", sum.Spans, sum.Rounds, sum.Messages)
+	}
+	// Round 2 of span 1 sent nothing and halted nobody: quiescent.
+	if sum.QuiescentRounds != 1 {
+		t.Errorf("QuiescentRounds = %d, want 1", sum.QuiescentRounds)
+	}
+	if len(sum.Phases) != 2 || sum.Phases[0].Label != "defective" || sum.Phases[1].Label != "base" {
+		t.Fatalf("phases = %+v, want defective then base (first-seen order)", sum.Phases)
+	}
+	if ph := sum.Phases[0]; ph.Spans != 1 || ph.Rounds != 3 || ph.Messages != 80 || ph.QuiescentRounds != 1 {
+		t.Errorf("defective phase = %+v", ph)
+	}
+	if ph := sum.Phases[1]; ph.Spans != 1 || ph.Rounds != 1 || ph.Messages != 20 || ph.QuiescentRounds != 0 {
+		t.Errorf("base phase = %+v", ph)
+	}
+	// Top rounds: sorted by duration descending, clipped at three.
+	if len(sum.TopRounds) != 3 {
+		t.Fatalf("TopRounds = %d entries, want 3", len(sum.TopRounds))
+	}
+	wantTop := []struct {
+		label string
+		round int
+		durMS float64
+	}{{"base", 1, 8}, {"defective", 1, 4}, {"defective", 2, 2}}
+	for i, want := range wantTop {
+		got := sum.TopRounds[i]
+		if got.Label != want.label || got.Round != want.round || got.DurationMS != want.durMS {
+			t.Errorf("TopRounds[%d] = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestSummaryTopRoundsClip drives the candidate list far past the 2×3
+// clip threshold and checks the global maxima still win.
+func TestSummaryTopRoundsClip(t *testing.T) {
+	tr := New()
+	s := tr.StartSpan("sequential", 1)
+	for i := 1; i <= 50; i++ {
+		// Durations rise, so the last three rounds are the top three.
+		s.Round(RoundEvent{Round: i, Duration: time.Duration(i) * time.Millisecond, Messages: 1})
+	}
+	s.End(nil)
+	sum := tr.Summary()
+	if len(sum.TopRounds) != 3 {
+		t.Fatalf("TopRounds = %d entries, want 3", len(sum.TopRounds))
+	}
+	for i, want := range []int{50, 49, 48} {
+		if got := sum.TopRounds[i].Round; got != want {
+			t.Errorf("TopRounds[%d].Round = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	tr.Summary().Format(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"trace: 2 spans, 4 rounds (1 quiescent), 100 messages",
+		"defective",
+		"base",
+		"top round 1: base round 1 (sharded-2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteChrome checks the exported document is well-formed JSON whose
+// round events agree with the embedded summary — the same consistency
+// property the CI trace smoke enforces on a real solve.
+func TestWriteChrome(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string   `json:"displayTimeUnit"`
+		Summary         *Summary `json:"summary"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.Summary == nil {
+		t.Fatal("document carries no summary")
+	}
+	rounds, quiescent, metadata, shardBusy := 0, 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M":
+			metadata++
+		case ev.Ph == "X" && strings.HasPrefix(ev.Name, "round "):
+			rounds++
+			if q, _ := ev.Args["quiescent"].(bool); q {
+				quiescent++
+			}
+			if _, ok := ev.Args["shard_busy_us"]; ok {
+				shardBusy++
+			}
+		}
+	}
+	// One process_name plus one thread_name per span.
+	if metadata != 3 {
+		t.Errorf("metadata events = %d, want 3", metadata)
+	}
+	if rounds != doc.Summary.Rounds || quiescent != doc.Summary.QuiescentRounds {
+		t.Errorf("events report %d rounds (%d quiescent), summary says %d (%d)",
+			rounds, quiescent, doc.Summary.Rounds, doc.Summary.QuiescentRounds)
+	}
+	if shardBusy != 1 {
+		t.Errorf("shard_busy_us on %d rounds, want 1", shardBusy)
+	}
+}
+
+func TestSpanError(t *testing.T) {
+	tr := New()
+	s := tr.StartSpan("sequential", 5)
+	s.End(errors.New("boom"))
+	if got := tr.Spans()[0].Err; got != "boom" {
+		t.Errorf("span error = %q, want boom", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"error":"boom"`) {
+		t.Error("chrome export dropped the span error")
+	}
+}
+
+func TestVisitRoundsAndSpans(t *testing.T) {
+	tr := buildTrace()
+	var visited []int
+	tr.VisitRounds(func(ev RoundEvent) { visited = append(visited, ev.Round) })
+	want := []int{1, 2, 3, 1}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v", visited, want)
+		}
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Engine != "sequential" || spans[1].Engine != "sharded-2" {
+		t.Errorf("Spans = %+v", spans)
+	}
+}
+
+func TestContext(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != nil {
+		t.Errorf("empty context carries a trace: %v", got)
+	}
+	tr := New()
+	if got := FromContext(NewContext(ctx, tr)); got != tr {
+		t.Error("context round trip lost the trace")
+	}
+	// Planting a nil trace must leave the context untouched, so a traced
+	// parent context is not masked by an untraced child call.
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Error("NewContext(nil) built a new context")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	a, b := NewRequestID(), NewRequestID()
+	if !hex16.MatchString(a) || !hex16.MatchString(b) {
+		t.Fatalf("malformed request IDs %q, %q", a, b)
+	}
+	if a == b {
+		t.Errorf("consecutive request IDs collided: %q", a)
+	}
+}
+
+func TestQuiescent(t *testing.T) {
+	if !(RoundEvent{}).Quiescent() {
+		t.Error("empty round must be quiescent")
+	}
+	if (RoundEvent{Messages: 1}).Quiescent() || (RoundEvent{Halted: 1}).Quiescent() {
+		t.Error("rounds with traffic or halts must not be quiescent")
+	}
+}

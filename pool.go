@@ -154,7 +154,12 @@ func NewPool(o PoolOptions) *Pool {
 // ignored: the pool routes every protocol execution itself (see
 // PoolOptions.SmallJob).
 func (p *Pool) ColorEdges(ctx context.Context, g *Graph, opts Options) (*Result, error) {
-	if p.cache == nil {
+	// A traced request wants the execution, not its memoized result: a
+	// cache hit runs zero rounds, so serving one would return an empty
+	// trace (and filling the cache from a traced run would be fine, but
+	// keeping traced flights out of the single-flight path means a slow
+	// diagnostic run never becomes the flight other waiters coalesce on).
+	if p.cache == nil || opts.Trace != nil {
 		return p.colorUniform(ctx, g, opts)
 	}
 	// Cache hits must still honor the after-Close contract: without this,
