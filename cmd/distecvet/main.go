@@ -1,0 +1,105 @@
+// Command distecvet runs distec's repo-specific static-analysis suite:
+// five analyzers (determinism, sentinelerr, hotpath, lockio,
+// metricnames) that machine-check the conventions the codebase's
+// correctness rests on. It is the CI gate beside go vet.
+//
+// Usage:
+//
+//	distecvet [-C dir] [-json] [packages...]
+//	distecvet -list
+//
+// Package patterns resolve against the module under -C (default "."):
+// no patterns or "./..." analyzes everything; "./internal/core" one
+// package; "./internal/..." a subtree.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/distec/distec/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("distecvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir     = fs.String("C", ".", "module root to analyze (directory containing go.mod)")
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array instead of vet-style lines")
+		list    = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: distecvet [-C dir] [-json] [packages...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	m, err := analysis.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "distecvet:", err)
+		return 2
+	}
+	pkgs, err := m.Select(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "distecvet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(m, pkgs, analysis.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(stderr, "distecvet:", err)
+		return 2
+	}
+
+	// Positions print relative to the working directory when possible,
+	// matching go vet; JSON keeps them verbatim for tooling.
+	if !*jsonOut {
+		if wd, err := os.Getwd(); err == nil {
+			for i := range diags {
+				if rel, err := filepath.Rel(wd, diags[i].File); err == nil && !filepath.IsAbs(rel) {
+					diags[i].File = rel
+				}
+			}
+		}
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "distecvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "distecvet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

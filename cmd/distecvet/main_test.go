@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/distec/distec/internal/analysis"
+)
+
+func TestListExitsCleanAndNamesEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %q", code, stderr.String())
+	}
+	for _, name := range analysis.AnalyzerNames() {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownFlagIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-bogus) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage: distecvet") {
+		t.Errorf("stderr missing usage text: %q", stderr.String())
+	}
+}
+
+func TestMissingModuleIsLoadError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-C emptydir) = %d, want 2; stderr %q", code, stderr.String())
+	}
+}
+
+// TestFindingsExitOneWithJSON drives the binary end to end over the
+// analysis fixtures: findings must surface as valid JSON and exit 1.
+// The sentinel fixture is used because sentinelerr fires under the
+// default configuration (the other fixture packages need the test
+// suite's path-suffix overrides).
+func TestFindingsExitOneWithJSON(t *testing.T) {
+	fixtures := filepath.Join("..", "..", "internal", "analysis", "testdata", "src")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtures, "-json", "./sentinel"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run over fixtures = %d, want 1; stderr %q", code, stderr.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected findings in the sentinel fixture, got none")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "sentinelerr" {
+			t.Errorf("unexpected analyzer %q in ./sentinel run: %s", d.Analyzer, d)
+		}
+	}
+}

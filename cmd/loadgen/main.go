@@ -44,36 +44,78 @@ import (
 	"time"
 )
 
+// config is the validated result of flag parsing, separated from main so
+// the validation sweep is testable without spawning the process.
+type config struct {
+	addr     string
+	rate     float64
+	duration time.Duration
+	mixSpec  string
+	sloSpec  string
+	graphN   int
+	graphD   int
+	bodies   int
+	timeout  time.Duration
+	benchOut string
+	mix      []classWeight
+	slos     []slo
+}
+
+// parseArgs parses and validates the command line. Every returned error
+// is a usage error (exit 2): malformed flags, malformed -mix/-slo specs,
+// or non-positive numeric parameters that would otherwise surface as a
+// zero-request run or a divide-by-zero deep in the scheduler.
+func parseArgs(args []string) (*config, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", "http://localhost:8080", "daemon base URL")
+	fs.Float64Var(&cfg.rate, "rate", 200, "total arrival rate, requests per second (open loop)")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "run length")
+	fs.StringVar(&cfg.mixSpec, "mix", "color=4,cached=3,churn=2,storm=1", "traffic mix as class=weight, comma-separated (weight 0 disables a class)")
+	fs.StringVar(&cfg.sloSpec, "slo", "", "SLOs as class:quantile=duration, comma-separated (e.g. color:p99=500ms,churn:p999=1s)")
+	fs.IntVar(&cfg.graphN, "n", 256, "node count of the workload graphs")
+	fs.IntVar(&cfg.graphD, "d", 8, "degree of the workload graphs")
+	fs.IntVar(&cfg.bodies, "bodies", 64, "distinct rotating graphs for the color class (more than the daemon cache holds, so they stay misses)")
+	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request client timeout")
+	fs.StringVar(&cfg.benchOut, "bench-out", "", "write the machine-readable run report to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if len(fs.Args()) > 0 {
+		return nil, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	var err error
+	if cfg.mix, err = parseMix(cfg.mixSpec); err != nil {
+		return nil, err
+	}
+	if cfg.slos, err = parseSLOs(cfg.sloSpec); err != nil {
+		return nil, err
+	}
+	if cfg.rate <= 0 || cfg.duration <= 0 {
+		return nil, fmt.Errorf("-rate and -duration must be positive")
+	}
+	if cfg.graphN < 2 || cfg.graphD < 1 || cfg.graphD >= cfg.graphN {
+		return nil, fmt.Errorf("-n and -d must describe a real graph (need n ≥ 2 and 1 ≤ d < n, got n=%d d=%d)", cfg.graphN, cfg.graphD)
+	}
+	if cfg.bodies < 1 {
+		return nil, fmt.Errorf("-bodies must be at least 1, got %d", cfg.bodies)
+	}
+	if cfg.timeout <= 0 {
+		return nil, fmt.Errorf("-timeout must be positive, got %v", cfg.timeout)
+	}
+	return cfg, nil
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", "http://localhost:8080", "daemon base URL")
-		rate     = flag.Float64("rate", 200, "total arrival rate, requests per second (open loop)")
-		duration = flag.Duration("duration", 10*time.Second, "run length")
-		mixSpec  = flag.String("mix", "color=4,cached=3,churn=2,storm=1", "traffic mix as class=weight, comma-separated (weight 0 disables a class)")
-		sloSpec  = flag.String("slo", "", "SLOs as class:quantile=duration, comma-separated (e.g. color:p99=500ms,churn:p999=1s)")
-		graphN   = flag.Int("n", 256, "node count of the workload graphs")
-		graphD   = flag.Int("d", 8, "degree of the workload graphs")
-		bodies   = flag.Int("bodies", 64, "distinct rotating graphs for the color class (more than the daemon cache holds, so they stay misses)")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
-		benchOut = flag.String("bench-out", "", "write the machine-readable run report to this JSON file")
-	)
-	flag.Parse()
-
-	mix, err := parseMix(*mixSpec)
+	cfg, err := parseArgs(os.Args[1:])
 	if err != nil {
 		fail(2, err)
 	}
-	slos, err := parseSLOs(*sloSpec)
-	if err != nil {
-		fail(2, err)
-	}
-	if *rate <= 0 || *duration <= 0 {
-		fail(2, fmt.Errorf("-rate and -duration must be positive"))
-	}
 
-	gen := newWorkload(*addr, *graphN, *graphD, *bodies, *timeout)
+	gen := newWorkload(cfg.addr, cfg.graphN, cfg.graphD, cfg.bodies, cfg.timeout)
 	if err := gen.prepare(); err != nil {
-		fail(1, fmt.Errorf("preparing workload (is the daemon up at %s?): %w", *addr, err))
+		fail(1, fmt.Errorf("preparing workload (is the daemon up at %s?): %w", cfg.addr, err))
 	}
 	defer gen.cleanup()
 
@@ -81,18 +123,18 @@ func main() {
 	// cleanup) so the daemon-side deltas cover exactly the scheduled
 	// load, not the workload setup or teardown. A failed scrape degrades
 	// to the client-side-only report rather than failing the run.
-	before, scrapeErr := scrapeMetrics(gen.client, *addr)
-	rep := run(gen, mix, *rate, *duration)
-	rep.Mix, rep.SLOSpec = *mixSpec, *sloSpec
+	before, scrapeErr := scrapeMetrics(gen.client, cfg.addr)
+	rep := run(gen, cfg.mix, cfg.rate, cfg.duration)
+	rep.Mix, rep.SLOSpec = cfg.mixSpec, cfg.sloSpec
 	if scrapeErr == nil {
-		if after, err := scrapeMetrics(gen.client, *addr); err == nil {
+		if after, err := scrapeMetrics(gen.client, cfg.addr); err == nil {
 			rep.Daemon = diffMetrics(before, after)
 		}
 	}
-	violations := rep.checkSLOs(slos)
+	violations := rep.checkSLOs(cfg.slos)
 	rep.print(os.Stdout, violations)
-	if *benchOut != "" {
-		if err := rep.writeJSON(*benchOut); err != nil {
+	if cfg.benchOut != "" {
+		if err := rep.writeJSON(cfg.benchOut); err != nil {
 			fail(1, err)
 		}
 	}

@@ -265,3 +265,71 @@ func TestPrepareFailure(t *testing.T) {
 	}
 	gen.cleanup() // no session: must be a no-op, not a panic
 }
+
+func TestParseArgsDefaults(t *testing.T) {
+	cfg, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.rate != 200 || cfg.duration != 10*time.Second || cfg.graphN != 256 || cfg.graphD != 8 || cfg.bodies != 64 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if len(cfg.mix) == 0 {
+		t.Fatal("default mix not parsed")
+	}
+	if len(cfg.slos) != 0 {
+		t.Fatalf("default slos = %v, want none", cfg.slos)
+	}
+}
+
+// TestParseArgsRejectsBadValues pins the validation sweep: every
+// malformed flag or out-of-range numeric value is a parse error (which
+// main turns into exit 2), never a silent zero-request run.
+func TestParseArgsRejectsBadValues(t *testing.T) {
+	bad := [][]string{
+		{"-bogus"},
+		{"extra", "operand"},
+		{"-rate", "0"},
+		{"-rate", "-5"},
+		{"-duration", "0s"},
+		{"-duration", "-1s"},
+		{"-n", "1"},
+		{"-n", "0"},
+		{"-d", "0"},
+		{"-n", "8", "-d", "8"},
+		{"-bodies", "0"},
+		{"-bodies", "-3"},
+		{"-timeout", "0s"},
+		{"-timeout", "-2s"},
+		{"-mix", "color"},
+		{"-mix", "nope=3"},
+		{"-slo", "color:p98=1ms"},
+	}
+	for _, args := range bad {
+		if cfg, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%q) accepted: %+v", args, cfg)
+		}
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	cfg, err := parseArgs([]string{
+		"-addr", "http://x:1", "-rate", "50", "-duration", "2s",
+		"-n", "32", "-d", "4", "-bodies", "3", "-timeout", "1s",
+		"-mix", "cached=1", "-slo", "cached:p50=100ms", "-bench-out", "out.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "http://x:1" || cfg.rate != 50 || cfg.duration != 2*time.Second ||
+		cfg.graphN != 32 || cfg.graphD != 4 || cfg.bodies != 3 ||
+		cfg.timeout != time.Second || cfg.benchOut != "out.json" {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if len(cfg.mix) != 1 || classes[cfg.mix[0].class] != "cached" {
+		t.Fatalf("mix = %v", cfg.mix)
+	}
+	if len(cfg.slos) != 1 || cfg.slos[0].class != "cached" || cfg.slos[0].quantile != "p50" {
+		t.Fatalf("slos = %v", cfg.slos)
+	}
+}

@@ -5,24 +5,29 @@
 //
 // Usage:
 //
-//	sessionctl inspect <dir>   print each session's header, sequence state,
-//	                           and WAL summary (read-only)
-//	sessionctl verify  <dir>   fully recover each session in memory (WAL
-//	                           replayed over the snapshot) and check the
-//	                           resulting coloring independently (read-only)
-//	sessionctl compact <dir>   recover each session, write a fresh snapshot
-//	                           at the head sequence number, and retire the
-//	                           WAL
+//	sessionctl [-fsync always|none] inspect <dir>
+//	sessionctl [-fsync always|none] verify  <dir>
+//	sessionctl [-fsync always|none] compact <dir>
+//
+// inspect prints each session's header, sequence state, and WAL summary
+// (read-only). verify fully recovers each session in memory (WAL replayed
+// over the snapshot) and checks the resulting coloring independently
+// (read-only). compact recovers each session, writes a fresh snapshot at
+// the head sequence number, and retires the WAL; -fsync controls whether
+// the rewrite is flushed to the device (always, the default) or left to
+// the kernel (none — faster, survives process crashes only).
 //
 // <dir> is either one session directory (it contains a "snapshot" file) or
 // a data directory whose subdirectories are sessions. verify and compact
-// exit non-zero if any session fails; a torn WAL tail is not a failure
-// (recovery discards it by design) but is reported.
+// exit 1 if any session fails; a torn WAL tail is not a failure (recovery
+// discards it by design) but is reported. Usage errors — unknown
+// subcommands, unknown -fsync modes, a missing directory operand — exit 2.
 package main
 
 import (
 	"bytes"
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -36,15 +41,42 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sessionctl:", err)
+		if isUsageError(err) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
+// usageError marks a malformed invocation, so main can exit 2 (as flag
+// parsing failures conventionally do) instead of 1 (operation failed).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func isUsageError(err error) bool {
+	_, ok := err.(usageError)
+	return ok
+}
+
+const usage = "usage: sessionctl [-fsync always|none] inspect|verify|compact <session-dir|data-dir>"
+
 func run(args []string, out io.Writer) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: sessionctl inspect|verify|compact <session-dir|data-dir>")
+	fs := flag.NewFlagSet("sessionctl", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fsyncMode := fs.String("fsync", "always", "durability of compact's rewrite: always or none")
+	fs.Usage = func() {}
+	if err := fs.Parse(args); err != nil {
+		return usageError{msg: fmt.Sprintf("%v\n%s", err, usage)}
 	}
-	cmd, root := args[0], args[1]
+	if *fsyncMode != "always" && *fsyncMode != "none" {
+		return usageError{msg: fmt.Sprintf("unknown -fsync mode %q (want always or none)", *fsyncMode)}
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return usageError{msg: usage}
+	}
+	cmd, root := rest[0], rest[1]
 	var fn func(dir string, out io.Writer) error
 	switch cmd {
 	case "inspect":
@@ -52,9 +84,10 @@ func run(args []string, out io.Writer) error {
 	case "verify":
 		fn = verifySession
 	case "compact":
-		fn = compactSession
+		opts := persist.Options{Fsync: *fsyncMode == "always"}
+		fn = func(dir string, out io.Writer) error { return compactSession(dir, opts, out) }
 	default:
-		return fmt.Errorf("unknown command %q (want inspect, verify, or compact)", cmd)
+		return usageError{msg: fmt.Sprintf("unknown command %q (want inspect, verify, or compact)", cmd)}
 	}
 	dirs, err := sessionDirs(root)
 	if err != nil {
@@ -182,10 +215,10 @@ func verifySession(dir string, out io.Writer) error {
 	return nil
 }
 
-func compactSession(dir string, out io.Writer) error {
+func compactSession(dir string, opts persist.Options, out io.Writer) error {
 	// OpenLog repairs the files (torn tail, interrupted compaction) and
 	// hands back the log for the rewrite.
-	lg, _, replay, err := persist.OpenLog(dir, persist.Options{Fsync: true})
+	lg, _, replay, err := persist.OpenLog(dir, opts)
 	if err != nil {
 		return err
 	}

@@ -203,13 +203,35 @@ func TestDataDirResolution(t *testing.T) {
 }
 
 func TestUsageErrors(t *testing.T) {
-	if _, err := runCtl(t, "inspect"); err == nil {
-		t.Fatal("missing dir accepted")
+	if _, err := runCtl(t, "inspect"); err == nil || !isUsageError(err) {
+		t.Fatalf("missing dir: err = %v, want usage error", err)
 	}
-	if _, err := runCtl(t, "explode", t.TempDir()); err == nil {
-		t.Fatal("unknown command accepted")
+	if _, err := runCtl(t, "explode", t.TempDir()); err == nil || !isUsageError(err) {
+		t.Fatalf("unknown command: err = %v, want usage error", err)
 	}
-	if _, err := runCtl(t, "inspect", t.TempDir()); err == nil {
-		t.Fatal("empty dir accepted")
+	if _, err := runCtl(t, "-fsync", "sometimes", "compact", t.TempDir()); err == nil || !isUsageError(err) {
+		t.Fatalf("unknown -fsync mode: err = %v, want usage error", err)
+	}
+	if _, err := runCtl(t, "-bogus", "inspect", t.TempDir()); err == nil || !isUsageError(err) {
+		t.Fatalf("unknown flag: err = %v, want usage error", err)
+	}
+	// An empty directory is an operation failure, not a usage error.
+	if _, err := runCtl(t, "inspect", t.TempDir()); err == nil || isUsageError(err) {
+		t.Fatalf("empty dir: err = %v, want non-usage failure", err)
+	}
+}
+
+func TestCompactFsyncNone(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	buildSession(t, dir, 4)
+	out, err := runCtl(t, "-fsync", "none", "compact", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "compacted — snapshot now at seq 4") {
+		t.Fatalf("compact output:\n%s", out)
+	}
+	if out, err := runCtl(t, "verify", dir); err != nil {
+		t.Fatalf("%v\n%s", err, out)
 	}
 }

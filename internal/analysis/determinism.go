@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newDeterminism builds the determinism analyzer: in the solver
+// packages — the code whose output the cross-engine equivalence matrix
+// and WAL replay assert on bit-for-bit — flag every construct that lets
+// runtime nondeterminism leak into results:
+//
+//   - range over a map whose body writes non-local state or sends on a
+//     channel. The one exempt shape is append-then-sort: every value
+//     appended under the range is sorted before use, which is exactly
+//     how order-insensitive collection is supposed to be written here.
+//   - time.Now / time.Since: wall time must never influence a solver.
+//   - package-level math/rand calls: the shared source is both
+//     unseeded-by-default and process-global; solvers must thread an
+//     explicit *rand.Rand derived from the run seed.
+//   - select over two or more channels: the winner is scheduler-chosen.
+func newDeterminism() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "flags nondeterminism sources (map-order-dependent writes, wall clock, global rand, multi-way select) in solver packages",
+	}
+	a.Run = func(p *Pass) {
+		inScope := false
+		for _, s := range p.Config.SolverPackages {
+			if hasPathSuffix(p.Pkg.Path, s) {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fd, ok := n.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					checkDetFunc(p, fd)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkDetFunc(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkMapRange(p, fd, n)
+		case *ast.CallExpr:
+			if isPkgCall(info, n, "time", "Now") || isPkgCall(info, n, "time", "Since") {
+				p.Reportf(n.Pos(), "wall-clock call %s in solver code: results must not depend on time", types.ExprString(n.Fun))
+			}
+			if path := callPkgPath(info, n); path == "math/rand" || path == "math/rand/v2" {
+				if fn, ok := calleeObj(info, n).(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil {
+					switch fn.Name() {
+					case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+					default:
+						p.Reportf(n.Pos(), "global %s.%s in solver code: thread an explicit seeded *rand.Rand instead", path, fn.Name())
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			comms := 0
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comms++
+				}
+			}
+			if comms >= 2 {
+				p.Reportf(n.Pos(), "select over %d channels in solver code: the chosen case is scheduler-dependent", comms)
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget is one `x = append(x, ...)` seen under a map range: the
+// target's printed form plus where to report if it is never sorted.
+type appendTarget struct {
+	expr string
+	pos  token.Pos
+}
+
+// checkMapRange flags a range over a map whose body mutates non-local
+// state, unless every such mutation is an append whose target is sorted
+// after the loop (order laundered away before anything observes it).
+func checkMapRange(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := p.Pkg.Info
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	rangeDesc := types.ExprString(rng.X)
+
+	var appends []appendTarget
+	done := false
+	report := func(pos token.Pos, format string, args ...any) {
+		if !done {
+			p.Reportf(pos, format, args...)
+			done = true
+		}
+	}
+	localObj := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		if id.Name == "_" {
+			return true
+		}
+		obj := identObj(info, id)
+		return obj != nil && within(rng, obj.Pos())
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n.Pos(), "send on channel inside range over map %s: map iteration order is nondeterministic", rangeDesc)
+		case *ast.IncDecStmt:
+			if !localObj(n.X) {
+				report(n.Pos(), "write to %s inside range over map %s without a sort: iteration order leaks into state", types.ExprString(n.X), rangeDesc)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if localObj(lhs) {
+					continue
+				}
+				// x = append(x, ...) is the collect-then-sort half of the
+				// exempt pattern; remember the target and verify the sort
+				// after the loop.
+				if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+					if call, ok := unparen(n.Rhs[i]).(*ast.CallExpr); ok && isAppendCall(info, call) && len(call.Args) > 0 {
+						if types.ExprString(call.Args[0]) == types.ExprString(lhs) {
+							appends = append(appends, appendTarget{types.ExprString(lhs), n.Pos()})
+							continue
+						}
+					}
+				}
+				report(n.Pos(), "write to %s inside range over map %s without a sort: iteration order leaks into state", types.ExprString(lhs), rangeDesc)
+			}
+		}
+		return true
+	})
+	if done {
+		return
+	}
+	for _, tgt := range appends {
+		if !sortedAfter(info, fd, rng.End(), tgt.expr) {
+			p.Reportf(tgt.pos, "append to %s inside range over map %s is never sorted afterwards: iteration order leaks into the slice", tgt.expr, rangeDesc)
+			return
+		}
+	}
+}
+
+// sortedAfter reports whether, somewhere in fd after pos, a sort/slices
+// ordering call is applied to the expression printed as target.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		switch callPkgPath(info, call) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// newLockIO builds the lockio analyzer: a linear, intraprocedural scan
+// that flags blocking I/O reachable while a sync.Mutex/RWMutex locked
+// in the same function is still held. Such a call turns device latency
+// (a slow fsync, a throttled disk) into lock hold time for every other
+// goroutine queued on the mutex — the failure mode that makes a p999
+// cliff out of one bad write.
+//
+// Blocking I/O here means: *os.File writes/Sync/Close, os package
+// filesystem calls, any niladic-looking Sync/Flush method (fsync and
+// buffered-writer flushes on wrapper types), and calls through fields
+// whose name contains "journal" (the persistence hook seam). Sites
+// where I/O under the lock is the documented design — the WAL append
+// path serializes writes by construction — carry //distec:nolint lockio
+// with a justification.
+//
+// The scan is deliberately conservative: branches are analyzed with the
+// lock state at entry and do not change it for following statements
+// (an unlock inside an if that returns does not release the lock for
+// the code after the if), deferred unlocks never release for scanning
+// purposes, and goroutine bodies and function literals are skipped.
+func newLockIO() *Analyzer {
+	a := &Analyzer{
+		Name: "lockio",
+		Doc:  "flags blocking I/O (file writes, fsync, os calls, journal hooks) reachable while a mutex locked in the same function is held",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+					scanLockedIO(p, fd.Body.List, nil)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// scanLockedIO walks stmts in order, tracking the stack of held lock
+// names, and reports I/O calls made while the stack is non-empty.
+// It returns the stack as of the end of the list.
+func scanLockedIO(p *Pass, stmts []ast.Stmt, held []string) []string {
+	for _, st := range stmts {
+		held = scanStmt(p, st, held)
+	}
+	return held
+}
+
+func scanStmt(p *Pass, st ast.Stmt, held []string) []string {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := unparen(st.X).(*ast.CallExpr); ok {
+			if name, delta := lockDelta(p, call); delta != 0 {
+				if delta > 0 {
+					return append(held, name)
+				}
+				return releaseLock(held, name)
+			}
+		}
+		checkIOExpr(p, st.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases only at return: the lock stays held
+		// for everything after this statement. Other deferred calls run
+		// outside the scanned order; skip them.
+	case *ast.GoStmt:
+		// A spawned goroutine does not hold this function's locks.
+	case *ast.BlockStmt:
+		held = scanLockedIO(p, st.List, held)
+	case *ast.LabeledStmt:
+		held = scanStmt(p, st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = scanStmt(p, st.Init, held)
+		}
+		checkIOExpr(p, st.Cond, held)
+		scanLockedIO(p, st.Body.List, held)
+		if st.Else != nil {
+			scanStmt(p, st.Else, held)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = scanStmt(p, st.Init, held)
+		}
+		if st.Cond != nil {
+			checkIOExpr(p, st.Cond, held)
+		}
+		scanLockedIO(p, st.Body.List, held)
+	case *ast.RangeStmt:
+		checkIOExpr(p, st.X, held)
+		scanLockedIO(p, st.Body.List, held)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = scanStmt(p, st.Init, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanLockedIO(p, cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanLockedIO(p, cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanLockedIO(p, cc.Body, held)
+			}
+		}
+	default:
+		// Assignments, returns, sends, incdec: no lock transitions, but
+		// their expressions may perform I/O.
+		if len(held) > 0 {
+			ast.Inspect(st, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					reportIfBlockingIO(p, call, held)
+				}
+				return true
+			})
+		}
+	}
+	return held
+}
+
+// checkIOExpr reports blocking I/O calls inside e while locks are held.
+func checkIOExpr(p *Pass, e ast.Expr, held []string) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			reportIfBlockingIO(p, call, held)
+		}
+		return true
+	})
+}
+
+func reportIfBlockingIO(p *Pass, call *ast.CallExpr, held []string) {
+	what := blockingIO(p, call)
+	if what == "" {
+		return
+	}
+	p.Reportf(call.Pos(), "blocking I/O (%s) while %s is held: device latency becomes lock hold time", what, held[len(held)-1])
+}
+
+// lockDelta classifies call as a mutex acquire (+1) or release (-1) on
+// a sync.Mutex/RWMutex-typed expression, returning the lock's printed
+// name; ("", 0) otherwise.
+func lockDelta(p *Pass, call *ast.CallExpr) (string, int) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	delta := 0
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return "", 0
+	}
+	tv, ok := p.Pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", 0
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", 0
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), delta
+	}
+	return "", 0
+}
+
+func releaseLock(held []string, name string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == name {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	if len(held) > 0 {
+		return held[:len(held)-1]
+	}
+	return held
+}
+
+// blockingIO classifies call as blocking I/O, returning a short
+// description ("" when it is not).
+func blockingIO(p *Pass, call *ast.CallExpr) string {
+	info := p.Pkg.Info
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		// Field-valued callee whose name smells like the journal hook.
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+			if strings.Contains(strings.ToLower(name), "journal") {
+				return "journal hook " + types.ExprString(call.Fun)
+			}
+			return ""
+		}
+		// Method on *os.File.
+		if recvNamed(info, sel) == "os.File" {
+			switch name {
+			case "Write", "WriteString", "WriteAt", "ReadFrom", "Sync", "Truncate", "Close", "Read", "ReadAt", "Seek":
+				return "os.File." + name
+			}
+		}
+		// fsync/flush-shaped methods on wrapper types (WAL files,
+		// buffered writers): the name is the contract.
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok && obj.Type().(*types.Signature).Recv() != nil {
+			if name == "Sync" || name == "Flush" {
+				return types.ExprString(call.Fun)
+			}
+		}
+	}
+	if obj, ok := calleeObj(info, call).(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		obj.Type().(*types.Signature).Recv() == nil {
+		switch obj.Name() {
+		case "Create", "CreateTemp", "Open", "OpenFile", "Rename", "Remove", "RemoveAll",
+			"WriteFile", "ReadFile", "Mkdir", "MkdirAll", "MkdirTemp", "ReadDir",
+			"Stat", "Lstat", "Truncate", "Link", "Symlink", "Chmod", "Chtimes":
+			return "os." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// recvNamed returns "pkg.Type" for a method selector's receiver type
+// (dereferenced), or "".
+func recvNamed(info *types.Info, sel *ast.SelectorExpr) string {
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}

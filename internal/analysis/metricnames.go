@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Catalog markers: the README's metric table sits between these two
+// HTML comments, and every backticked snake_case token inside is taken
+// as a documented metric name. The metricnames analyzer cross-checks
+// that span against the registrations it collected, both directions.
+const (
+	catalogBegin = "<!-- distecvet:metric-catalog:begin -->"
+	catalogEnd   = "<!-- distecvet:metric-catalog:end -->"
+)
+
+// metricKinds maps registry method name → index of the first label
+// argument (name and help come first; the Func/Histogram variants have
+// one extra positional argument before the labels). Label arguments are
+// alternating name,value pairs, mirroring Registry.Counter's contract.
+var metricKinds = map[string]int{
+	"Counter":     2,
+	"CounterFunc": 3,
+	"Gauge":       2,
+	"GaugeFunc":   3,
+	"Histogram":   3,
+}
+
+// metricFamilies normalizes method → exposition TYPE, the identity the
+// runtime registry enforces kind consistency on.
+var metricFamilies = map[string]string{
+	"Counter": "counter", "CounterFunc": "counter",
+	"Gauge": "gauge", "GaugeFunc": "gauge",
+	"Histogram": "histogram",
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*[a-z0-9]$`)
+	labelNameRE  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// catalogNameRE extracts documented names from catalog lines: backticked
+// lowercase tokens containing at least one underscore (every metric in
+// this repo is distec_*-prefixed, so plain backticked words in prose or
+// label columns don't collide).
+var catalogNameRE = regexp.MustCompile("`([a-z][a-z0-9]*(?:_[a-z0-9]+)+)`")
+
+// metricReg is one registration site collected during Run.
+type metricReg struct {
+	name, kind string
+	// labelSig identifies the series within the family: rendered label
+	// name=value pairs, constant-folded where possible. constSig is true
+	// when every pair was a compile-time constant, which is what makes
+	// duplicate detection sound for this registration.
+	labelSig string
+	constSig bool
+	diag     Diagnostic // position template for Finish-time findings
+}
+
+// newMetricNames builds the metricnames analyzer. It collects every
+// metric registered against the internal/metrics Registry as a
+// compile-time string, validates Prometheus naming (lowercase
+// snake_case, counters end in _total), flags duplicate registrations
+// and kind conflicts across the whole module, and cross-checks the set
+// against the README catalog: an undocumented registration and a stale
+// catalog row are both findings, so the docs cannot drift from the
+// code.
+func newMetricNames() *Analyzer {
+	var regs []metricReg
+	a := &Analyzer{
+		Name: "metricnames",
+		Doc:  "validates metric registration names, flags duplicates, and cross-checks the README metric catalog",
+	}
+	a.Run = func(p *Pass) {
+		if hasPathSuffix(p.Pkg.Path, p.Config.MetricsPkgSuffix) {
+			return // the registry's own internals are not registrations
+		}
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if reg := metricRegistration(p, call); reg != nil {
+					regs = append(regs, *reg)
+				}
+				return true
+			})
+		}
+	}
+	a.Finish = func(m *Module, pkgs []*Package, cfg Config, report func(Diagnostic)) {
+		finishMetricNames(m, cfg, regs, len(pkgs) == len(m.Pkgs), report)
+	}
+	return a
+}
+
+// metricRegistration recognizes r.Counter("name", ...)-style calls on
+// the metrics Registry, validates the name inline, and returns the
+// registration record (nil for non-registration calls).
+func metricRegistration(p *Pass, call *ast.CallExpr) *metricReg {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	labelStart, ok := metricKinds[sel.Sel.Name]
+	if !ok {
+		return nil
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !hasPathSuffix(fn.Pkg().Path(), p.Config.MetricsPkgSuffix) {
+		return nil
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	tv, ok := p.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		p.Reportf(call.Args[0].Pos(), "metric name must be a compile-time string constant so the catalog stays statically checkable")
+		return nil
+	}
+	name := constant.StringVal(tv.Value)
+	kind := sel.Sel.Name
+	// A misnamed metric is already a finding; don't also drag it through
+	// the duplicate and catalog checks.
+	switch {
+	case !metricNameRE.MatchString(name) || strings.Contains(name, "__"):
+		p.Reportf(call.Args[0].Pos(), "metric name %q is not lowercase snake_case", name)
+		return nil
+	case (kind == "Counter" || kind == "CounterFunc") && !strings.HasSuffix(name, "_total"):
+		p.Reportf(call.Args[0].Pos(), "counter %q must end in _total (Prometheus counter naming)", name)
+		return nil
+	}
+	// Label arguments alternate name,value. Names must be compile-time
+	// constants with valid label syntax; values may be dynamic (the
+	// build_info pattern stamps runtime.Version() into a label value).
+	labelArgs := call.Args[labelStart:]
+	if len(labelArgs)%2 != 0 {
+		p.Reportf(call.Args[len(call.Args)-1].Pos(), "metric %q has an odd number of label arguments: labels are name,value pairs", name)
+	}
+	var sig []string
+	constSig := true
+	for i, arg := range labelArgs {
+		ltv, ok := p.Pkg.Info.Types[arg]
+		isConst := ok && ltv.Value != nil && ltv.Value.Kind() == constant.String
+		if i%2 == 0 {
+			switch {
+			case !isConst:
+				p.Reportf(arg.Pos(), "label name for metric %q must be a compile-time string constant", name)
+				constSig = false
+				sig = append(sig, types.ExprString(arg))
+			case !labelNameRE.MatchString(constant.StringVal(ltv.Value)):
+				p.Reportf(arg.Pos(), "label name %q on metric %q is not lowercase snake_case", constant.StringVal(ltv.Value), name)
+				sig = append(sig, constant.StringVal(ltv.Value))
+			default:
+				sig = append(sig, constant.StringVal(ltv.Value))
+			}
+			continue
+		}
+		if isConst {
+			sig = append(sig, constant.StringVal(ltv.Value))
+		} else {
+			constSig = false
+			sig = append(sig, types.ExprString(arg))
+		}
+	}
+	pos := p.Module.Fset.Position(call.Pos())
+	return &metricReg{
+		name:     name,
+		kind:     metricFamilies[kind],
+		labelSig: strings.Join(sig, ","),
+		constSig: constSig,
+		diag:     Diagnostic{File: pos.Filename, Line: pos.Line, Col: pos.Column},
+	}
+}
+
+// finishMetricNames runs the whole-module checks: duplicates, kind
+// conflicts, and the two-way README catalog cross-check. wholeModule
+// reports whether every module package was analyzed; the catalog
+// cross-check only makes claims about absence, so on a partial run it
+// stands down entirely rather than call every unseen metric missing.
+func finishMetricNames(m *Module, cfg Config, regs []metricReg, wholeModule bool, report func(Diagnostic)) {
+	sort.SliceStable(regs, func(i, j int) bool {
+		if regs[i].name != regs[j].name {
+			return regs[i].name < regs[j].name
+		}
+		return regs[i].diag.File < regs[j].diag.File ||
+			(regs[i].diag.File == regs[j].diag.File && regs[i].diag.Line < regs[j].diag.Line)
+	})
+	byName := map[string][]metricReg{}
+	for _, r := range regs {
+		byName[r.name] = append(byName[r.name], r)
+	}
+	for _, group := range byName {
+		first := group[0]
+		// A family must keep one kind; distinct series within it (different
+		// label signatures) are the labeled-counter pattern and fine.
+		bySeries := map[string]metricReg{}
+		for _, r := range group {
+			if r.kind != first.kind {
+				d := r.diag
+				d.Message = fmt.Sprintf("metric %q registered as %s here but as %s at %s:%d", r.name, r.kind, first.kind, first.diag.File, first.diag.Line)
+				report(d)
+				continue
+			}
+			// Duplicate-series detection is only sound when both signatures
+			// are fully constant (dynamic label values can differ at runtime).
+			if !r.constSig {
+				continue
+			}
+			if prev, ok := bySeries[r.labelSig]; ok {
+				d := r.diag
+				d.Message = fmt.Sprintf("metric series %q{%s} already registered at %s:%d", r.name, r.labelSig, prev.diag.File, prev.diag.Line)
+				report(d)
+				continue
+			}
+			bySeries[r.labelSig] = r
+		}
+	}
+
+	if cfg.ReadmePath == "" || !wholeModule {
+		return
+	}
+	readme := cfg.ReadmePath
+	if !filepath.IsAbs(readme) {
+		readme = filepath.Join(m.Root, readme)
+	}
+	documented, err := readCatalog(readme)
+	if err != nil {
+		if len(regs) > 0 {
+			report(Diagnostic{File: readme, Line: 1, Message: err.Error()})
+		}
+		return
+	}
+	for name, group := range byName {
+		if _, ok := documented[name]; !ok {
+			d := group[0].diag
+			d.Message = fmt.Sprintf("metric %q is not documented in the README metric catalog (%s)", name, cfg.ReadmePath)
+			report(d)
+		}
+	}
+	var docNames []string
+	for name := range documented {
+		docNames = append(docNames, name)
+	}
+	sort.Strings(docNames)
+	for _, name := range docNames {
+		if _, ok := byName[name]; !ok {
+			report(Diagnostic{
+				File:    readme,
+				Line:    documented[name],
+				Message: fmt.Sprintf("catalog documents metric %q but nothing registers it", name),
+			})
+		}
+	}
+}
+
+// readCatalog extracts documented metric names (→ line number) from the
+// marker-delimited span of the README.
+func readCatalog(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("metric catalog: %v", err)
+	}
+	out := map[string]int{}
+	in := false
+	seen := false
+	for i, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.Contains(line, catalogBegin):
+			in, seen = true, true
+		case strings.Contains(line, catalogEnd):
+			in = false
+		case in:
+			for _, match := range catalogNameRE.FindAllStringSubmatch(line, -1) {
+				if _, dup := out[match[1]]; !dup {
+					out[match[1]] = i + 1
+				}
+			}
+		}
+	}
+	if !seen {
+		return nil, fmt.Errorf("metric catalog: %s has no %s marker", path, catalogBegin)
+	}
+	return out, nil
+}

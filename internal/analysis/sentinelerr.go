@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// newSentinelErr builds the sentinelerr analyzer. The repo's sentinel
+// errors (ErrSessionClosed, ErrPaletteExhausted, ErrJournal, ...) cross
+// wrapping layers — persistence, serving, session management — so the
+// only comparison that stays correct is errors.Is. The analyzer flags
+// the two ways that contract decays:
+//
+//   - err == ErrX / err != ErrX: breaks the moment anyone wraps err.
+//   - fmt.Errorf("...", ErrX) without %w: strips the sentinel from the
+//     chain, so downstream errors.Is silently stops matching.
+//
+// Only this module's package-level Err* variables count as sentinels;
+// stdlib comparisons like err == io.EOF follow the stdlib's own
+// documented contracts and are out of scope.
+func newSentinelErr() *Analyzer {
+	a := &Analyzer{
+		Name: "sentinelerr",
+		Doc:  "flags ==/!= comparisons against module sentinel errors and fmt.Errorf wrapping a sentinel without %w",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					for _, side := range []ast.Expr{n.X, n.Y} {
+						if s := sentinelOf(p, side); s != nil {
+							p.Reportf(n.Pos(), "comparison %s sentinel %s: use errors.Is so wrapped errors still match", n.Op, s.Name())
+							break
+						}
+					}
+				case *ast.CallExpr:
+					checkErrorfWrap(p, n)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// sentinelOf reports the sentinel-error object e refers to, if any: a
+// package-level error-typed variable named Err* declared in this module.
+func sentinelOf(p *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := identObj(p.Pkg.Info, id).(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") {
+		return nil
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil // not package-level
+	}
+	if _, inModule := p.Module.byPath[obj.Pkg().Path()]; !inModule {
+		return nil
+	}
+	if !types.Implements(obj.Type(), errorIface) {
+		return nil
+	}
+	return obj
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a sentinel without a
+// %w verb in a constant format string.
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	if !isPkgCall(p.Pkg.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := p.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if s := sentinelOf(p, arg); s != nil {
+			p.Reportf(call.Pos(), "fmt.Errorf formats sentinel %s without %%w: errors.Is will not match the result", s.Name())
+			return
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package determ
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Frequencies copies values out in map order.
+func Frequencies(in map[string]int, out []int) {
+	i := 0
+	for _, v := range in {
+		out[i] = v // want "write to out\\[i\\] inside range over map in"
+		i++
+	}
+}
+
+// Keys collects keys and never sorts them.
+func Keys(in map[string]int) []string {
+	var out []string
+	for k := range in {
+		out = append(out, k) // want "append to out inside range over map in is never sorted"
+	}
+	return out
+}
+
+// Jitter mixes wall time and the global source into a result.
+func Jitter() time.Duration {
+	d := time.Duration(rand.Intn(10)) // want "global math/rand.Intn in solver code"
+	if time.Now().IsZero() {          // want "wall-clock call time.Now in solver code"
+		return 0
+	}
+	return d
+}
+
+// Merge returns whichever arrives first.
+func Merge(a, b chan int) int {
+	select { // want "select over 2 channels"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

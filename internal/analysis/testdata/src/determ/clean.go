@@ -1,0 +1,27 @@
+package determ
+
+import "sort"
+
+// Collect is the canonical deterministic shape: collect under the map
+// range, sort, then apply in sorted order.
+func Collect(in map[string]int, out []int) {
+	keys := make([]string, 0, len(in))
+	for k := range in {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		out[i] = in[k]
+	}
+}
+
+// Locals may be written freely under a map range.
+func MaxValue(in map[string]int) int {
+	best := 0
+	for _, v := range in {
+		if w := v * v; w > best*best {
+			_ = w
+		}
+	}
+	return best
+}

@@ -1,0 +1,10 @@
+package determ
+
+// Sum folds commutatively; iteration order cannot reach the result.
+func Sum(in map[string]int) int {
+	total := 0
+	for _, v := range in {
+		total += v //distec:nolint determinism
+	}
+	return total
+}

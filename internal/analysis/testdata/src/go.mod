@@ -1,0 +1,3 @@
+module distecvet.example
+
+go 1.22

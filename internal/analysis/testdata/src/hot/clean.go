@@ -1,0 +1,24 @@
+package hot
+
+import "fmt"
+
+// Step is the reuse-and-guard shape the engines use: cold error exits
+// may format, appends reuse their slice, tracer calls sit behind a nil
+// check.
+//
+//distec:hotpath
+func (s *State) Step(r int) error {
+	if r < 0 {
+		return fmt.Errorf("hot: negative round %d", r)
+	}
+	s.buf = append(s.buf, r)
+	if s.span != nil {
+		s.span.Round(r)
+	}
+	return nil
+}
+
+// Helper is unmarked, so the analyzer leaves it alone.
+func Helper(r int) string {
+	return fmt.Sprintf("round %d", r)
+}

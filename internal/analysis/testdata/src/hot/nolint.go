@@ -1,0 +1,11 @@
+package hot
+
+import "fmt"
+
+// Debug is hot but deliberately logs while a regression is being
+// chased.
+//
+//distec:hotpath
+func (s *State) Debug(r int) {
+	fmt.Println("round", r) //distec:nolint hotpath
+}

@@ -1,0 +1,30 @@
+package lockio
+
+import (
+	"os"
+	"sync"
+)
+
+// Store pairs a mutex with a file, the shape the analyzer audits.
+type Store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Flush writes and fsyncs while holding the lock.
+func (s *Store) Flush(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(data); err != nil { // want "blocking I/O \\(os.File.Write\\) while s.mu is held"
+		return err
+	}
+	return s.f.Sync() // want "blocking I/O \\(os.File.Sync\\) while s.mu is held"
+}
+
+// Rotate renames under the lock.
+func (s *Store) Rotate(from, to string) error {
+	s.mu.Lock()
+	err := os.Rename(from, to) // want "blocking I/O \\(os.Rename\\) while s.mu is held"
+	s.mu.Unlock()
+	return err
+}

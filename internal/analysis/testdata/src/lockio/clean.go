@@ -1,0 +1,18 @@
+package lockio
+
+import "os"
+
+// Write snapshots under the lock and performs the I/O after releasing
+// it — the pattern the metrics exporter uses.
+func (s *Store) Write(data []byte) error {
+	s.mu.Lock()
+	buf := append([]byte(nil), data...)
+	s.mu.Unlock()
+	_, err := s.f.Write(buf)
+	return err
+}
+
+// Save takes no lock at all.
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

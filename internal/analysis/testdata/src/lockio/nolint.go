@@ -1,0 +1,14 @@
+package lockio
+
+// Append fsyncs under the lock by design: the lock is the journal's
+// serialization point, and durability-before-return is the contract.
+func (s *Store) Append(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//distec:nolint lockio
+	if _, err := s.f.Write(data); err != nil {
+		return err
+	}
+	//distec:nolint
+	return s.f.Sync()
+}

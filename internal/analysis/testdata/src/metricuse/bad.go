@@ -1,0 +1,18 @@
+package metricuse
+
+import "distecvet.example/stubs/metrics"
+
+// Register wires this package's metrics, misnaming most of them.
+func Register(reg *metrics.Registry, name string) {
+	reg.Counter("app_requests", "Requests.")                          // want "counter \"app_requests\" must end in _total"
+	reg.Counter("App-Total", "Bad name.")                             // want "not lowercase snake_case"
+	reg.Counter(name, "Dynamic.")                                     // want "compile-time string constant"
+	reg.Gauge("app_depth_now", "Depth.", "queue")                     // want "odd number of label arguments"
+	reg.Counter("app_undocumented_total", "Missing from the README.") // want "not documented in the README metric catalog"
+	reg.Counter("app_jobs_total", "Jobs.")
+}
+
+// RegisterAgain duplicates a series registered above.
+func RegisterAgain(reg *metrics.Registry) {
+	reg.Counter("app_jobs_total", "Jobs.") // want "already registered"
+}

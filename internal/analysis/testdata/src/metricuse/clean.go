@@ -1,0 +1,12 @@
+package metricuse
+
+import "distecvet.example/stubs/metrics"
+
+// RegisterClean registers documented, well-formed metrics, including
+// distinct series of one family.
+func RegisterClean(reg *metrics.Registry) {
+	reg.CounterFunc("app_ticks_total", "Ticks.", func() uint64 { return 0 })
+	reg.Gauge("app_queue_depth", "Queue depth.", "lane", "fast")
+	reg.Gauge("app_queue_depth", "Queue depth.", "lane", "slow")
+	reg.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1}, "outcome", "ok")
+}

@@ -1,0 +1,8 @@
+package metricuse
+
+import "distecvet.example/stubs/metrics"
+
+// RegisterLegacy keeps a grandfathered name a dashboard still scrapes.
+func RegisterLegacy(reg *metrics.Registry) {
+	reg.Counter("app_legacy_count", "Legacy counter.") //distec:nolint metricnames
+}

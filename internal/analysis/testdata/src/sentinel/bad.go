@@ -1,0 +1,22 @@
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is the package sentinel.
+var ErrClosed = errors.New("closed")
+
+// IsClosed compares identity instead of using errors.Is.
+func IsClosed(err error) bool {
+	return err == ErrClosed // want "comparison == sentinel ErrClosed"
+}
+
+// Wrap tests with != and then strips the sentinel from the chain.
+func Wrap(err error) error {
+	if err != ErrClosed { // want "comparison != sentinel ErrClosed"
+		return err
+	}
+	return fmt.Errorf("session: %v", ErrClosed) // want "fmt.Errorf formats sentinel ErrClosed without %w"
+}

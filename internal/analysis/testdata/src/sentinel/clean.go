@@ -1,0 +1,20 @@
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a sentinel handled correctly everywhere.
+var ErrGone = errors.New("gone")
+
+// Check matches with errors.Is and wraps with %w.
+func Check(err error) error {
+	if errors.Is(err, ErrGone) {
+		return fmt.Errorf("still gone: %w", ErrGone)
+	}
+	if err == nil {
+		return nil
+	}
+	return err
+}

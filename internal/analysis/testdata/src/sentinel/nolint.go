@@ -1,0 +1,7 @@
+package sentinel
+
+// Fast compares identity on purpose: this error value never crosses a
+// wrapping boundary.
+func Fast(err error) bool {
+	return err == ErrClosed //distec:nolint sentinelerr
+}

@@ -1,0 +1,21 @@
+// Package metrics is a registration-shaped stub of the real registry,
+// mirroring the method set the metricnames analyzer recognizes.
+package metrics
+
+// Registry mirrors the registration surface of internal/metrics.
+type Registry struct{}
+
+// Counter registers a counter; labels alternate name,value.
+func (r *Registry) Counter(name, help string, labels ...string) {}
+
+// CounterFunc registers a callback-backed counter.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...string) {}
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) {}
+
+// GaugeFunc registers a callback-backed gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {}
+
+// Histogram registers a histogram over buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) {}

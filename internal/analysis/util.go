@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// rootIdent returns the base identifier of an lvalue-ish chain:
+// x, x.f, x[i].f, *x, ... → x. Nil when the chain is not rooted in an
+// identifier (e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identObj resolves an identifier to its object, whichever side of a
+// definition it is on.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// calleeObj resolves the called function/method object of a call, nil
+// for indirect calls through non-selector expressions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes pkgPath.name (package-level
+// function, not a method).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// callPkgPath returns the defining package path of the callee ("" for
+// builtins, locals through variables, and unresolvable calls).
+func callPkgPath(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isAppendCall reports whether call is the append builtin.
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// within reports whether pos falls inside node n.
+func within(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// enclosingStmtList finds the statement list of the innermost
+// block-like construct (block, case clause, comm clause) of root that
+// contains pos, and whether that construct is root's own top-level body.
+func enclosingStmtList(root *ast.FuncDecl, pos token.Pos) (list []ast.Stmt, top bool) {
+	if root.Body == nil || !within(root.Body, pos) {
+		return nil, false
+	}
+	list, top = root.Body.List, true
+	ast.Inspect(root.Body, func(n ast.Node) bool {
+		if n == nil || !within(n, pos) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if n != root.Body {
+				list, top = n.List, false
+			}
+		case *ast.CaseClause:
+			list, top = n.Body, false
+		case *ast.CommClause:
+			list, top = n.Body, false
+		case *ast.FuncLit:
+			// A nested function's blocks belong to its own control flow.
+			list, top = n.Body.List, false
+		}
+		return true
+	})
+	return list, top
+}
+
+// endsInReturn reports whether a statement list terminates in a return
+// (the shape of a cold early-exit error path).
+func endsInReturn(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	_, ok := list[len(list)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// errorIface is the universe error interface, for sentinel detection.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -360,9 +360,19 @@ func buildVirtualPairs(pairs [][2]int64, sideIdx map[int64][]int32, isMember map
 		}
 		return id
 	}
-	for key, items := range sideIdx {
+	// Iterate side keys in sorted order: derive hands out intern IDs in
+	// first-seen order, so walking the map directly would mint virtual
+	// pair IDs in map-iteration order — nondeterministic across runs,
+	// which breaks cross-engine equivalence and WAL replay of any solve
+	// that recurses through here.
+	keys := make([]int64, 0, len(sideIdx))
+	for key := range sideIdx {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
 		rank := 0
-		for _, it := range items {
+		for _, it := range sideIdx[key] {
 			e := int(it)
 			if !isMember[e] {
 				continue

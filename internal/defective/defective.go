@@ -124,21 +124,18 @@ func Color(pairs [][2]int64, active []bool, beta int, initColors []int, initX in
 	// Step 1 (one exchange round in the node model): every side key ranks
 	// its active items; each active item learns its rank at both sides.
 	// This is purely side-local information.
+	// An item's rank at a side key is the number of earlier active items
+	// incident to that key, so one ordered pass over pairs with per-key
+	// counters computes it directly — no intermediate per-key lists, and
+	// no map iteration for ordering to leak through.
 	rankAt := make([][2]int, m) // rank among active items at side A / side B
-	sideItems := make(map[int64][]int32)
+	sideCount := make(map[int64]int)
 	for e, pr := range pairs {
 		if active[e] {
-			sideItems[pr[0]] = append(sideItems[pr[0]], int32(e))
-			sideItems[pr[1]] = append(sideItems[pr[1]], int32(e))
-		}
-	}
-	for key, items := range sideItems {
-		for rank, it := range items {
-			if pairs[it][0] == key {
-				rankAt[it][0] = rank
-			} else {
-				rankAt[it][1] = rank
-			}
+			rankAt[e][0] = sideCount[pr[0]]
+			sideCount[pr[0]]++
+			rankAt[e][1] = sideCount[pr[1]]
+			sideCount[pr[1]]++
 		}
 	}
 

@@ -90,6 +90,8 @@ func (x *SeqExec) finish() bool {
 
 // Round executes one synchronous round. It returns true once the execution
 // has finished; further calls are no-ops.
+//
+//distec:hotpath
 func (x *SeqExec) Round() bool {
 	if x.done {
 		return true

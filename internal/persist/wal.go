@@ -56,6 +56,8 @@ const (
 // byte of the extension is overwritten, so a recycled buffer (Log.enc) is
 // extended without the per-call allocation a make-and-append would cost on
 // the hot append path.
+//
+//distec:hotpath
 func appendRecord(buf []byte, rec Record) []byte {
 	payloadLen := recordPayloadFixed + updateBytes*len(rec.Updates)
 	start := len(buf)

@@ -59,6 +59,13 @@ type Exec struct {
 	// rounds. Only the driving goroutine touches either.
 	span     *trace.Span
 	prevSent int64
+	// sendTask and recvTask are the per-shard phase bodies, bound once at
+	// Prepare: they read the round number and parity from the struct, so
+	// Round fans them out without allocating a closure per round. The
+	// driver writes x.r/x.par strictly before each fan-out and the
+	// WaitGroup barrier in each orders those writes against the tasks.
+	sendTask func(s int, w *worker)
+	recvTask func(s int, w *worker)
 }
 
 // Prepare partitions the topology into at most shards blocks (≤0 selects
@@ -91,6 +98,13 @@ func Prepare(t *local.Topology, f local.Factory, opts *local.Options, shards int
 	x.each(exec, func(s int, _ *worker) {
 		x.workers[s] = newWorker(s, bounds[s], bounds[s+1], shards, t, f)
 	})
+	x.sendTask = func(_ int, w *worker) {
+		w.sendPhase(x.r, x.par, x.t, x.shardOf, x.st)
+	}
+	x.recvTask = func(_ int, w *worker) {
+		w.deliverPhase(x.par, x.workers)
+		w.receivePhase(x.r, x.par)
+	}
 	return x
 }
 
@@ -163,6 +177,8 @@ func (x *Exec) each(exec Executor, f func(s int, w *worker)) {
 // receive phase, barrier, halt decision — fanning the per-shard work out
 // through exec (nil runs inline on the caller). It returns true once the
 // execution has finished; further calls are no-ops.
+//
+//distec:hotpath
 func (x *Exec) Round(exec Executor) bool {
 	if x.done {
 		return true
@@ -185,14 +201,9 @@ func (x *Exec) Round(exec Executor) bool {
 		roundStart = time.Now()
 	}
 	x.stats.Rounds = r
-	x.each(exec, func(_ int, w *worker) {
-		w.sendPhase(r, x.par, x.t, x.shardOf, st)
-	})
+	x.each(exec, x.sendTask)
 	if st.getErr() == nil {
-		x.each(exec, func(_ int, w *worker) {
-			w.deliverPhase(x.par, x.workers)
-			w.receivePhase(r, x.par)
-		})
+		x.each(exec, x.recvTask)
 	}
 	total := 0
 	for _, w := range x.workers {

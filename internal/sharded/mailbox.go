@@ -44,6 +44,8 @@ func (ob *outbox) reset(par int) {
 }
 
 // put appends one message to the parity-par batch for shard dst.
+//
+//distec:hotpath
 func (ob *outbox) put(par int, dst int32, d delivery) {
 	ob.buf[par][dst] = append(ob.buf[par][dst], d)
 }

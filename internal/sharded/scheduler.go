@@ -200,6 +200,8 @@ func newWorker(id, lo, hi, shards int, t *local.Topology, f local.Factory) *work
 
 // sendPhase runs Send for every awake owned entity and batches the output
 // into the parity-par outbox buffers by destination shard.
+//
+//distec:hotpath
 func (w *worker) sendPhase(r, par int, t *local.Topology, shardOf []int32, st *runState) {
 	w.out.reset(par)
 	for _, i32 := range w.active {
@@ -230,6 +232,8 @@ func (w *worker) sendPhase(r, par int, t *local.Topology, shardOf []int32, st *r
 // every source worker into the owned entities' parity-par inboxes. Stale
 // slots from the buffer's previous use (round r−2) and last round's delivery
 // counters are cleared sparsely first, exactly like the sequential engine.
+//
+//distec:hotpath
 func (w *worker) deliverPhase(par int, workers []*worker) {
 	for _, s := range w.touched[1-par] {
 		w.gotMsg[s.ent] = 0
@@ -254,6 +258,8 @@ func (w *worker) deliverPhase(par int, workers []*worker) {
 // receivePhase runs Receive/ReceiveNone for the owned entities and compacts
 // the active list, preserving ascending order. The sleep/sparse logic is a
 // line-for-line mirror of RunSequential so results stay bit-identical.
+//
+//distec:hotpath
 func (w *worker) receivePhase(r, par int) {
 	keep := w.active[:0]
 	received := 0
