@@ -79,12 +79,19 @@ func main() {
 		small   = flag.Int("small", 0, "small-job entity threshold (0: default)")
 		cache   = flag.Int("cache", 0, "result cache entries (0: default, <0: disabled)")
 
-		dataDir    = flag.String("data-dir", "", "persist dynamic sessions (snapshot + WAL) under this directory and recover them on boot")
-		fsyncMode  = flag.String("fsync", "always", "session durability: always (fsync per batch, survives OS crashes) or none (kernel write per batch, survives process crashes)")
-		walCompact = flag.Int64("wal-compact-bytes", persist.DefaultCompactBytes, "compact a session (fresh snapshot, retired WAL) once its WAL exceeds this size")
-		sessionTTL = flag.Duration("session-ttl", 30*time.Minute, "evict dynamic sessions idle longer than this (0: never evict)")
-		pprofFlag  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (CPU, heap, block profiles on the live daemon)")
-		logFormat  = flag.String("log-format", "text", "structured log format on stderr: text or json")
+		dataDir     = flag.String("data-dir", "", "persist dynamic sessions (snapshot + WAL) under this directory and recover them on boot")
+		fsyncMode   = flag.String("fsync", "always", "session durability: always (fsync per batch, survives OS crashes) or none (kernel write per batch, survives process crashes)")
+		walCompact  = flag.Int64("wal-compact-bytes", persist.DefaultCompactBytes, "compact a session (fresh snapshot, retired WAL) once its WAL exceeds this size")
+		diffCompact = flag.Bool("diff-compact", false, "compact with appended differential snapshots when smaller than a full rewrite")
+		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "evict dynamic sessions idle longer than this (0: never evict)")
+		maxResident = flag.Int("max-resident", defaultMaxResident, "with -data-dir: sessions resident in memory at once; the least-recently-used beyond it passivate to disk and rehydrate on access")
+		maxSess     = flag.Int("max-sessions", 0, "registry bound on live sessions (0: 64 memory-only, 4096 with -data-dir)")
+
+		follow       = flag.String("follow", "", "warm-standby mode: replicate every session from the leader at this base URL into -data-dir; session traffic answers 503 until promotion")
+		followPoll   = flag.Duration("follow-poll", 500*time.Millisecond, "follower: session-list poll interval and leader health-check cadence")
+		promoteAfter = flag.Duration("promote-after", 0, "follower: promote to serving once the leader has been unreachable this long (0: promote only on POST /v1/promote)")
+		pprofFlag    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (CPU, heap, block profiles on the live daemon)")
+		logFormat    = flag.String("log-format", "text", "structured log format on stderr: text or json")
 
 		drive    = flag.String("drive", "", "drive mode: base URL of a running daemon")
 		rate     = flag.Float64("rate", 20, "drive: requests per second")
@@ -138,7 +145,13 @@ func main() {
 		dataDir:      *dataDir,
 		fsync:        *fsyncMode == "always",
 		compactBytes: *walCompact,
+		diffCompact:  *diffCompact,
 		sessionTTL:   *sessionTTL,
+		maxSessions:  *maxSess,
+		maxResident:  *maxResident,
+		follow:       *follow,
+		followPoll:   *followPoll,
+		promoteAfter: *promoteAfter,
 		pprof:        *pprofFlag,
 		metrics:      reg,
 		logger:       logger,
@@ -238,9 +251,20 @@ const maxJobTimeout = 5 * time.Minute
 // of the connection's shared WriteTimeout.
 const responseWriteBudget = 2 * time.Minute
 
-// maxSessions bounds the number of live dynamic sessions: each pins a graph
-// and its coloring in memory for as long as the client keeps it.
-const maxSessions = 64
+// defaultMaxSessions bounds the number of live dynamic sessions when the
+// registry is memory-only: each pins a graph and its coloring in memory for
+// as long as the client keeps it.
+const defaultMaxSessions = 64
+
+// defaultMaxSessionsDurable is the registry bound with -data-dir: sessions
+// beyond the residency limit passivate to disk, so the registry can hold
+// far more sessions than fit in memory at once.
+const defaultMaxSessionsDurable = 4096
+
+// defaultMaxResident bounds how many durable sessions stay resident in
+// memory at once; the least-recently-used beyond it passivate to disk and
+// rehydrate transparently on their next touch.
+const defaultMaxResident = 64
 
 // maxUpdatesPerBatch bounds one session update batch; longer streams are
 // split by the client into multiple requests, each with its own timeout.
@@ -310,6 +334,9 @@ type statsResponse struct {
 	BuildRevision string `json:"build_revision"`
 	daemonCounters
 	Sessions int `json:"sessions"`
+	// SessionsResident counts the sessions currently held in memory; the
+	// remainder are passivated to disk and rehydrate on access.
+	SessionsResident int `json:"sessions_resident"`
 	// SessionsRecovered/RecoveryFailures report the boot-time recovery of
 	// persisted sessions (-data-dir).
 	SessionsRecovered int `json:"sessions_recovered"`
@@ -389,11 +416,28 @@ type daemonConfig struct {
 	// crashes but not OS crashes.
 	fsync bool
 	// compactBytes is the per-session WAL size that triggers compaction
-	// (0: persist.DefaultCompactBytes).
+	// (0: persist.DefaultCompactBytes); diffCompact serves compactions with
+	// appended differential snapshots when they are smaller than a full
+	// snapshot rewrite.
 	compactBytes int64
+	diffCompact  bool
 	// sessionTTL evicts sessions idle longer than this — the fix for
 	// abandoned sessions pinning the registry cap forever. 0 disables.
 	sessionTTL time.Duration
+	// maxSessions bounds the registry (0: 64 memory-only, 4096 with a data
+	// dir); maxResident bounds how many durable sessions are resident in
+	// memory at once (0: 64; ignored without a data dir, where every
+	// session is memory-only and can never passivate).
+	maxSessions int
+	maxResident int
+	// follow, when set, boots the daemon as a warm standby: it tails every
+	// session of the leader at this base URL into its own data dir and
+	// answers session traffic 503 until promoted (POST /v1/promote, or
+	// automatically once the leader has been unreachable for
+	// promoteAfter > 0). followPoll is the session-list poll interval.
+	follow       string
+	followPoll   time.Duration
+	promoteAfter time.Duration
 	// pprof serves net/http/pprof under /debug/pprof/.
 	pprof bool
 	// metrics is the registry every subsystem reports into; the pool must
@@ -406,15 +450,27 @@ type daemonConfig struct {
 }
 
 // session is one registry entry: the live coloring, its durability log
-// (nil without -data-dir), and the idle-eviction clock.
+// (nil without -data-dir), and the idle-eviction clock. A durable session
+// is not always resident: passivation drops d and log (the state lives on
+// disk) and the next touch rehydrates them.
 type session struct {
-	id  string
+	id string
+	// mu serializes residency transitions (passivate, rehydrate, drop); d
+	// and log are only replaced under it. Handlers that already hold a d
+	// may keep using it across a passivation — a passivated Dynamic stays
+	// readable, and writes fail with ErrSessionPassivated.
+	mu  sync.Mutex
 	d   *distec.Dynamic
 	log *persist.Log
+	// dropped marks a deleted/evicted/retired session so a racing handler
+	// cannot rehydrate it back to life from files being removed.
+	dropped bool
+	// resident mirrors d != nil, readable without mu for victim selection.
+	resident atomic.Bool
 	// last is the UnixNano of the last client touch (create, get, update);
 	// inflight counts batches currently executing, so the idle sweeper
 	// never evicts a session mid-batch just because the batch outlived the
-	// TTL.
+	// TTL, and the passivator prefers sessions with nothing running.
 	last     atomic.Int64
 	inflight atomic.Int32
 }
@@ -450,8 +506,15 @@ type server struct {
 	updateLatency *metrics.Histogram
 	updateTiers   map[string]*metrics.Counter
 	// recoveryTime observes per-session boot recovery (open + replay +
-	// verify), successes only.
-	recoveryTime *metrics.Histogram
+	// verify), successes only; rehydrateTime the same pipeline when a
+	// passivated session is brought back on access.
+	recoveryTime  *metrics.Histogram
+	rehydrateTime *metrics.Histogram
+	// passivations and rehydrations count residency transitions;
+	// residentCount is the live resident-session gauge behind them.
+	passivations  *metrics.Counter
+	rehydrations  *metrics.Counter
+	residentCount atomic.Int64
 	// solveRounds/solveQuiescent/roundDuration aggregate the convergence
 	// behavior of traced solves (?trace=1): how many rounds a solve takes,
 	// how many of them were quiescent (pure simulation overhead), and how
@@ -466,6 +529,12 @@ type server struct {
 	recoveryFailures int
 
 	mux http.Handler
+
+	// following is true while the daemon is a warm standby (-follow):
+	// session traffic answers 503, the follower loop tails the leader, and
+	// promotion flips it false after recovering the replicated state.
+	following atomic.Bool
+	repl      *follower
 
 	sessMu   sync.Mutex
 	sessions map[string]*session
@@ -498,11 +567,22 @@ func newDaemon(pool *distec.Pool, cfg daemonConfig) (*server, error) {
 		s.logger = slog.New(slog.DiscardHandler)
 	}
 	s.registerMetrics()
+	if cfg.follow != "" && cfg.dataDir == "" {
+		return nil, errors.New("-follow requires -data-dir (the standby needs somewhere to replicate to)")
+	}
 	if cfg.dataDir != "" {
 		if err := os.MkdirAll(cfg.dataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("data dir: %w", err)
 		}
-		s.recoverSessions()
+		if cfg.follow == "" {
+			s.recoverSessions()
+		} else {
+			// A follower's data dir is owned by the replication loop until
+			// promotion; recovery runs then, over whatever was replicated.
+			s.following.Store(true)
+			s.repl = newFollower(s)
+			go s.repl.run()
+		}
 	}
 	if cfg.sessionTTL > 0 {
 		go s.sweepLoop()
@@ -518,6 +598,12 @@ func newDaemon(pool *distec.Pool, cfg daemonConfig) (*server, error) {
 	mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
 	mux.HandleFunc("POST /v1/session/{id}/update", s.handleSessionUpdate)
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /v1/replication/status", s.handleReplicationStatus)
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	if cfg.dataDir != "" {
+		mux.HandleFunc("GET /v1/replicate", s.handleReplicateList)
+		mux.HandleFunc("GET /v1/replicate/{id}", s.handleReplicateSession)
+	}
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -635,6 +721,10 @@ func (s *server) registerMetrics() {
 		"augmented": reg.Counter("distec_session_updates_total", tiersHelp, "tier", "augmented"),
 	}
 	s.recoveryTime = reg.Histogram("distec_session_recovery_seconds", "Boot-time per-session recovery duration (open, replay, verify), successes only.", metrics.LatencyBuckets)
+	s.rehydrateTime = reg.Histogram("distec_session_rehydration_seconds", "Rehydration latency (open, replay, verify) when a passivated session is touched.", metrics.LatencyBuckets)
+	s.passivations = reg.Counter("distec_sessions_passivated_total", "Resident sessions evicted to disk by the residency limit.")
+	s.rehydrations = reg.Counter("distec_session_rehydrations_total", "Passivated sessions rehydrated from disk on access.")
+	reg.GaugeFunc("distec_sessions_resident", "Dynamic sessions resident in memory (each pins its graph and coloring).", func() float64 { return float64(s.residentCount.Load()) })
 	s.solveRounds = reg.Histogram("distec_solve_rounds", "Engine-executed rounds per traced solve (?trace=1 requests only).", roundBuckets)
 	s.solveQuiescent = reg.Histogram("distec_solve_quiescent_rounds", "Quiescent rounds (no messages sent, no entity halted) per traced solve — pure simulation overhead.", roundBuckets)
 	s.roundDuration = reg.Histogram("distec_round_duration_seconds", "Individual engine round duration, observed from traced solves.", metrics.LatencyBuckets)
@@ -700,11 +790,35 @@ func buildRevision() string {
 	return "unknown"
 }
 
-// close stops the eviction sweeper and quiesces every session (waiting out
-// in-flight compactions, closing WAL files). Sessions stay on disk for the
-// next boot.
+// maxSessionsLimit resolves the registry bound: explicit config, else 64
+// memory-only or 4096 with a data dir (sessions beyond the residency limit
+// live on disk, not in memory).
+func (s *server) maxSessionsLimit() int {
+	if s.cfg.maxSessions > 0 {
+		return s.cfg.maxSessions
+	}
+	if s.cfg.dataDir != "" {
+		return defaultMaxSessionsDurable
+	}
+	return defaultMaxSessions
+}
+
+// maxResidentLimit resolves the residency bound for durable sessions.
+func (s *server) maxResidentLimit() int {
+	if s.cfg.maxResident > 0 {
+		return s.cfg.maxResident
+	}
+	return defaultMaxResident
+}
+
+// close stops the eviction sweeper, the follower loop, and quiesces every
+// session (waiting out in-flight compactions, closing WAL files). Sessions
+// stay on disk for the next boot.
 func (s *server) close() {
 	s.closeOnce.Do(func() { close(s.stopSweep) })
+	if s.repl != nil {
+		s.repl.stopAndWait()
+	}
 	s.sessMu.Lock()
 	all := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
@@ -713,20 +827,43 @@ func (s *server) close() {
 	s.sessions = make(map[string]*session)
 	s.sessMu.Unlock()
 	for _, sess := range all {
-		sess.d.Close()
-		if sess.log != nil {
-			sess.log.Close()
-		}
+		s.quiesceSession(sess)
+	}
+}
+
+// quiesceSession closes one already-unregistered session, keeping its
+// files: in-flight batches fail with ErrSessionClosed, the WAL closes
+// cleanly, and a racing handler can no longer rehydrate it.
+func (s *server) quiesceSession(sess *session) {
+	sess.mu.Lock()
+	sess.dropped = true
+	d, lg := sess.d, sess.log
+	sess.d, sess.log = nil, nil
+	wasResident := sess.resident.Load()
+	sess.resident.Store(false)
+	sess.mu.Unlock()
+	if d != nil {
+		d.Close()
+	}
+	if lg != nil {
+		lg.Close()
+	}
+	if wasResident {
+		s.residentCount.Add(-1)
 	}
 }
 
 // persistOptions maps the daemon config onto the persistence layer's knobs.
 func (s *server) persistOptions() persist.Options {
-	return persist.Options{Fsync: s.cfg.fsync, CompactBytes: s.cfg.compactBytes, Metrics: s.persistM}
+	return persist.Options{Fsync: s.cfg.fsync, CompactBytes: s.cfg.compactBytes, DiffCompact: s.cfg.diffCompact, Metrics: s.persistM}
 }
 
-// recoverSessions re-registers every session persisted under the data dir:
-// snapshot restored, WAL replayed, coloring verified, original ID kept.
+// recoverSessions re-registers every session persisted under the data dir.
+// The first maxResident come back fully live (snapshot restored, WAL
+// replayed, coloring verified, original ID kept); the rest register
+// passivated after a cheap durability scan, so boot cost and memory stay
+// bounded however many sessions the dir holds — each rehydrates (and
+// verifies) on its first touch instead.
 func (s *server) recoverSessions() {
 	entries, err := os.ReadDir(s.cfg.dataDir)
 	if err != nil {
@@ -739,24 +876,44 @@ func (s *server) recoverSessions() {
 		}
 		id := e.Name()
 		start := time.Now()
-		sess, err := s.recoverSession(id)
+		var sess *session
+		if int(s.residentCount.Load()) < s.maxResidentLimit() {
+			sess, err = s.recoverSession(id)
+		} else {
+			sess, err = s.adoptPassivated(id)
+		}
 		if err != nil {
 			s.logger.Error("session recovery failed", "session", id, "err", err)
 			s.recoveryFailures++
 			continue
 		}
 		s.recoveryTime.Observe(time.Since(start).Seconds())
-		s.logger.Info("session recovered", "session", id, "seq", sess.d.Seq(),
+		s.logger.Info("session recovered", "session", id, "resident", sess.resident.Load(),
 			"duration_ms", float64(time.Since(start).Microseconds())/1000)
+		s.sessMu.Lock()
 		s.sessions[id] = sess
+		s.sessMu.Unlock()
 		s.recovered++
 	}
 }
 
+// adoptPassivated registers a persisted session without loading it: the
+// directory is scanned (checksums, torn tails, sequence chain — everything
+// but the coloring replay), and the session rehydrates on first touch.
+func (s *server) adoptPassivated(id string) (*session, error) {
+	if _, _, _, err := persist.ScanDir(filepath.Join(s.cfg.dataDir, id)); err != nil {
+		return nil, err
+	}
+	sess := &session{id: id}
+	sess.touch()
+	return sess, nil
+}
+
 // recoverSession rebuilds one session from its directory: open the log
 // (which repairs a torn WAL tail and finishes an interrupted compaction),
-// restore the snapshot, replay the surviving records in order, and verify
-// the result. Any failure abandons the recovery with the files untouched.
+// restore the merged snapshot, replay the surviving records in order, and
+// verify the result. Any failure abandons the recovery with the files
+// untouched.
 func (s *server) recoverSession(id string) (*session, error) {
 	dir := filepath.Join(s.cfg.dataDir, id)
 	lg, snap, records, err := persist.OpenLog(dir, s.persistOptions())
@@ -769,12 +926,9 @@ func (s *server) recoverSession(id string) (*session, error) {
 			lg.Close()
 		}
 	}()
-	f, err := os.Open(filepath.Join(dir, persist.SnapshotFile))
-	if err != nil {
-		return nil, err
-	}
-	d, err := distec.NewDynamicFromSnapshot(f, distec.DynamicOptions{Pool: s.pool})
-	f.Close()
+	// OpenLog's snapshot already has the diff chain merged in — the file
+	// on disk alone may be stale, so the parsed value is the truth.
+	d, err := distec.NewDynamicFromState(snap, distec.DynamicOptions{Pool: s.pool})
 	if err != nil {
 		return nil, err
 	}
@@ -789,7 +943,7 @@ func (s *server) recoverSession(id string) (*session, error) {
 		return nil, fmt.Errorf("recovered coloring invalid: %v", err)
 	}
 	sess := &session{id: id, d: d, log: lg}
-	d.SetJournal(s.journalFunc(sess))
+	d.SetJournal(s.journalFunc(lg))
 	// A WAL already past the threshold is compacted now (synchronously:
 	// boot is the cheap moment), so recovery cost stays bounded next time.
 	// A compaction failure poisons the log — registering the session anyway
@@ -804,6 +958,8 @@ func (s *server) recoverSession(id string) (*session, error) {
 			return nil, fmt.Errorf("boot compaction: %w", err)
 		}
 	}
+	sess.resident.Store(true)
+	s.residentCount.Add(1)
 	sess.touch()
 	ok = true
 	return sess, nil
@@ -813,7 +969,10 @@ func (s *server) recoverSession(id string) (*session, error) {
 // batch to the WAL and, once the WAL outgrows the threshold, capture a
 // point-in-time snapshot (in memory, under the session lock) and hand the
 // disk work to a background compaction.
-func (s *server) journalFunc(sess *session) distec.JournalFunc {
+func (s *server) journalFunc(lg *persist.Log) distec.JournalFunc {
+	// The hook captures its own *Log, not the session: rehydration builds a
+	// fresh Dynamic with a fresh hook over a fresh log, so a stale hook can
+	// never append to a log that was swapped out from under it.
 	// scratch is safe to recycle across batches: the journal runs under the
 	// session lock and Append encodes the record before returning.
 	var scratch []persist.Update
@@ -829,15 +988,15 @@ func (s *server) journalFunc(sess *session) distec.JournalFunc {
 			}
 			rec.Updates[i] = persist.Update{Op: op, U: int32(up.U), V: int32(up.V)}
 		}
-		if err := sess.log.Append(rec); err != nil {
+		if err := lg.Append(rec); err != nil {
 			return err
 		}
-		if sess.log.NeedsCompaction() {
+		if lg.NeedsCompaction() {
 			var buf bytes.Buffer
 			if err := b.Snapshot(&buf); err != nil {
 				return fmt.Errorf("compaction snapshot: %w", err)
 			}
-			return sess.log.CompactAsync(buf.Bytes())
+			return lg.CompactAsync(buf.Bytes())
 		}
 		return nil
 	}
@@ -897,10 +1056,11 @@ func (s *server) sweepIdle() int {
 
 // dropSession tears one already-unregistered session down: close it (late
 // and in-flight batches fail with ErrSessionClosed) and remove its files.
+// Works on passivated sessions too — there is nothing in memory to close,
+// but the files still go.
 func (s *server) dropSession(sess *session) {
-	sess.d.Close()
-	if sess.log != nil {
-		sess.log.Close()
+	s.quiesceSession(sess)
+	if s.cfg.dataDir != "" {
 		os.RemoveAll(filepath.Join(s.cfg.dataDir, sess.id))
 	}
 }
@@ -913,10 +1073,7 @@ func (s *server) retireSession(id string, sess *session) {
 	s.sessMu.Lock()
 	delete(s.sessions, id)
 	s.sessMu.Unlock()
-	sess.d.Close()
-	if sess.log != nil {
-		sess.log.Close()
-	}
+	s.quiesceSession(sess)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -927,6 +1084,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BuildRevision:     buildRevision(),
 		daemonCounters:    s.counterSnapshot(),
 		Sessions:          s.sessionCount(),
+		SessionsResident:  int(s.residentCount.Load()),
 		SessionsRecovered: s.recovered,
 		RecoveryFailures:  s.recoveryFailures,
 	})
@@ -967,6 +1125,9 @@ func (s *server) sessionCount() int {
 
 func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.rejectFollowing(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
@@ -1062,6 +1223,10 @@ func (s *server) handleColor(w http.ResponseWriter, r *http.Request) {
 // dynamic session maintaining that coloring under updates.
 func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.rejectFollowing(w) {
+		return
+	}
+	maxSessions := s.maxSessionsLimit()
 	if s.sessionCount() >= maxSessions {
 		// A full registry gets one opportunistic idle sweep before the 503:
 		// abandoned sessions must never brick session creation for the TTL
@@ -1127,8 +1292,10 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sess.log = lg
-		d.SetJournal(s.journalFunc(sess))
+		d.SetJournal(s.journalFunc(lg))
 	}
+	sess.resident.Store(true)
+	s.residentCount.Add(1)
 	sess.touch()
 	s.sessMu.Lock()
 	// Re-check under the lock: concurrent creates may have raced past the
@@ -1142,6 +1309,9 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = sess
 	s.sessMu.Unlock()
 	s.creates.Inc()
+	// The newcomer may push the resident set past the limit: passivate the
+	// coldest sessions (never the one just created).
+	s.enforceResidency(sess)
 	s.respond(w, http.StatusOK, sessionResponse{
 		SessionID:  id,
 		Colors:     d.Colors(),
@@ -1157,6 +1327,9 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 // pool's shared lanes, verifying the maintained coloring before responding.
 func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.rejectFollowing(w) {
+		return
+	}
 	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
 		s.fail(w, http.StatusNotFound, errors.New("no such session"))
@@ -1165,7 +1338,11 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	if s.beforeUpdate != nil {
 		s.beforeUpdate()
 	}
-	d := sess.d
+	d, err := s.acquire(sess)
+	if err != nil {
+		s.failAcquire(w, err)
+		return
+	}
 	var req updateRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -1197,6 +1374,21 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	sess.inflight.Add(1)
 	start := time.Now()
 	results, err := d.ApplyBatch(ctx, req.Updates)
+	if errors.Is(err, distec.ErrSessionPassivated) {
+		// The residency limit passivated the session between lookup and
+		// batch. The interrupted attempt journaled nothing and its memory
+		// state was discarded with the Dynamic, so rehydrating and replaying
+		// the whole batch applies it exactly once.
+		d2, aerr := s.acquire(sess)
+		if aerr != nil {
+			sess.inflight.Add(-1)
+			sess.touch()
+			s.failAcquire(w, aerr)
+			return
+		}
+		d = d2
+		results, err = d.ApplyBatch(ctx, req.Updates)
+	}
 	sess.inflight.Add(-1)
 	sess.touch()
 	s.updateLatency.Observe(time.Since(start).Seconds())
@@ -1224,6 +1416,11 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 			s.retireSession(r.PathValue("id"), sess)
 			s.fail(w, http.StatusInternalServerError,
 				fmt.Errorf("%w; session retired — restart the daemon to recover its last durable state", err))
+		case errors.Is(err, distec.ErrSessionPassivated):
+			// Passivated again between the retry's rehydrate and batch —
+			// possible only under pathological residency pressure. The batch
+			// is not applied; the client retries.
+			s.fail(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, distec.ErrPaletteExhausted):
 			s.fail(w, http.StatusConflict, err)
 		default:
@@ -1254,13 +1451,20 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 // handleSessionGet reports a session's current coloring and stats.
 func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.rejectFollowing(w) {
+		return
+	}
 	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
 		s.fail(w, http.StatusNotFound, errors.New("no such session"))
 		return
 	}
 	sess.touch()
-	d := sess.d
+	d, err := s.acquire(sess)
+	if err != nil {
+		s.failAcquire(w, err)
+		return
+	}
 	if err := d.Verify(); err != nil {
 		s.fail(w, http.StatusInternalServerError, fmt.Errorf("OUTPUT INVALID: %w", err))
 		return
@@ -1280,6 +1484,9 @@ func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 // files removed.
 func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.rejectFollowing(w) {
+		return
+	}
 	id := r.PathValue("id")
 	s.sessMu.Lock()
 	sess, ok := s.sessions[id]

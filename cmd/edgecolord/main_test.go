@@ -365,6 +365,62 @@ func TestSessionBadRequests(t *testing.T) {
 	}
 }
 
+// TestSessionRequestLimits pins the request-validation edges of the
+// session API: palette and batch-size caps, malformed bodies, and the
+// palette-exhausted conflict when a fixed palette runs out of colors.
+func TestSessionRequestLimits(t *testing.T) {
+	ts, _, _ := newTestServerCfg(t, daemonConfig{})
+	resp, err := http.Post(ts.URL+"/v1/session", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	r, body := postJSON(t, ts.URL+"/v1/session", sessionRequest{
+		Graph: graphToSpec(distec.Cycle(4)), Palette: maxPalette + 1,
+	})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized palette: status %d: %s", r.StatusCode, body)
+	}
+
+	// A fixed palette of 3 satisfies 2Δ−1 on the 6-cycle, but inserting a
+	// fan at one node pushes its degree past what 3 colors can serve: the
+	// batch must fail as a conflict, not a server error.
+	r, body = postJSON(t, ts.URL+"/v1/session", sessionRequest{
+		Graph: graphToSpec(distec.Cycle(6)), Palette: 3,
+	})
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("create with fixed palette: status %d: %s", r.StatusCode, body)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	r, body = postJSON(t, ts.URL+"/v1/session/"+sr.SessionID+"/update", updateRequest{
+		Updates: []distec.Update{
+			{Op: distec.InsertEdge, U: 0, V: 2},
+			{Op: distec.InsertEdge, U: 0, V: 3},
+			{Op: distec.InsertEdge, U: 0, V: 4},
+		},
+	})
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("palette exhaustion: status %d, want 409: %s", r.StatusCode, body)
+	}
+
+	// A batch past maxUpdatesPerBatch is rejected before any work.
+	huge := make([]distec.Update, maxUpdatesPerBatch+1)
+	for i := range huge {
+		huge[i] = distec.Update{Op: distec.InsertEdge, U: 0, V: 2}
+	}
+	r, body = postJSON(t, ts.URL+"/v1/session/"+sr.SessionID+"/update", updateRequest{Updates: huge})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400: %s", r.StatusCode, body)
+	}
+}
+
 // TestSessionLimit pins the registry bound.
 func TestSessionLimit(t *testing.T) {
 	ts, d, _ := newTestServerCfg(t, daemonConfig{})
@@ -372,7 +428,7 @@ func TestSessionLimit(t *testing.T) {
 	// needless work); the daemon must refuse the next create. Entries are
 	// fresh, so no TTL sweep can reclaim them.
 	d.sessMu.Lock()
-	for i := 0; i < maxSessions; i++ {
+	for i := 0; i < d.maxSessionsLimit(); i++ {
 		id := string(rune('a'+i%26)) + string(rune('0'+i/26))
 		sess := &session{id: id}
 		sess.touch()
@@ -541,7 +597,7 @@ func TestSessionCreateSweepsWhenFull(t *testing.T) {
 	// with fresh entries: the cap is reached, but one slot is reclaimable.
 	d.sessMu.Lock()
 	d.sessions[sr.SessionID].last.Store(time.Now().Add(-2 * time.Hour).UnixNano())
-	for i := 0; len(d.sessions) < maxSessions; i++ {
+	for i := 0; len(d.sessions) < d.maxSessionsLimit(); i++ {
 		id := fmt.Sprintf("filler%d", i)
 		sess := &session{id: id}
 		sess.touch()

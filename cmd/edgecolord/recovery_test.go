@@ -19,6 +19,7 @@ import (
 	"github.com/distec/distec"
 	"github.com/distec/distec/internal/bench"
 	"github.com/distec/distec/internal/persist"
+	"github.com/distec/distec/internal/persist/errfs"
 )
 
 // sessionMirror tracks, client-side, exactly what a session's active edge
@@ -261,11 +262,7 @@ func TestRecoveryTornWALTail(t *testing.T) {
 			crash()
 
 			walPath := filepath.Join(dataDir, m.id, persist.WALFile)
-			fi, err := os.Stat(walPath)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := os.Truncate(walPath, fi.Size()-cut); err != nil {
+			if err := errfs.Truncate(walPath, cut); err != nil {
 				t.Fatal(err)
 			}
 			ts2, d2, crash2 := startDiskDaemon(t, dataDir)
@@ -304,22 +301,11 @@ func TestRecoveryCorruptionTable(t *testing.T) {
 		crash()
 		return dataDir, m
 	}
-	flipByte := func(t *testing.T, path string, off int64) {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if off < 0 {
-			off += int64(len(data))
-		}
-		data[off] ^= 0x20
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
 	t.Run("snapshot-bit-flip-skips-session", func(t *testing.T) {
 		dataDir, m := setup(t)
-		flipByte(t, filepath.Join(dataDir, m.id, persist.SnapshotFile), 40)
+		if err := errfs.FlipByte(filepath.Join(dataDir, m.id, persist.SnapshotFile), 40, 0x20); err != nil {
+			t.Fatal(err)
+		}
 		ts2, d2, crash2 := startDiskDaemon(t, dataDir)
 		defer crash2()
 		if d2.recovered != 0 || d2.recoveryFailures != 1 {
@@ -353,7 +339,9 @@ func TestRecoveryCorruptionTable(t *testing.T) {
 		}
 		// Flip a byte roughly halfway in: records from there on are
 		// discarded, the prefix must survive exactly.
-		flipByte(t, walPath, fi.Size()/2)
+		if err := errfs.FlipByte(walPath, fi.Size()/2, 0x20); err != nil {
+			t.Fatal(err)
+		}
 		ts2, d2, crash2 := startDiskDaemon(t, dataDir)
 		defer crash2()
 		if d2.recovered != 1 {

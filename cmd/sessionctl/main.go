@@ -9,19 +9,25 @@
 //	sessionctl [-fsync always|none] verify  <dir>
 //	sessionctl [-fsync always|none] compact <dir>
 //
-// inspect prints each session's header, sequence state, and WAL summary
-// (read-only). verify fully recovers each session in memory (WAL replayed
-// over the snapshot) and checks the resulting coloring independently
-// (read-only). compact recovers each session, writes a fresh snapshot at
-// the head sequence number, and retires the WAL; -fsync controls whether
-// the rewrite is flushed to the device (always, the default) or left to
-// the kernel (none — faster, survives process crashes only).
+// inspect prints each session's header, sequence state, and WAL/diff
+// summary (read-only). verify fully recovers each session in memory (the
+// differential-snapshot chain merged over the base, WAL replayed on top)
+// and checks the resulting coloring independently (read-only). compact
+// recovers each session, writes a fresh full snapshot at the head sequence
+// number, and retires the WAL and diff chain; -fsync controls whether the
+// rewrite is flushed to the device (always, the default) or left to the
+// kernel (none — faster, survives process crashes only).
 //
-// <dir> is either one session directory (it contains a "snapshot" file) or
-// a data directory whose subdirectories are sessions. verify and compact
-// exit 1 if any session fails; a torn WAL tail is not a failure (recovery
-// discards it by design) but is reported. Usage errors — unknown
-// subcommands, unknown -fsync modes, a missing directory operand — exit 2.
+// <dir> is either one session directory (it contains session files —
+// snapshot, wal, or diff) or a data directory whose subdirectories are
+// sessions. A partial session directory (say a WAL whose snapshot is gone)
+// is reported as that session's failure; empty subdirectories are skipped
+// like the daemon's recovery skips them.
+//
+// Exit codes are pinned: 0 every session succeeded, 1 any session failed
+// (a torn WAL tail is not a failure — recovery discards it by design, but
+// it is reported), 2 usage errors — unknown subcommands, unknown -fsync
+// modes, a missing directory operand.
 package main
 
 import (
@@ -39,12 +45,23 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sessionctl:", err)
-		if isUsageError(err) {
-			os.Exit(2)
-		}
-		os.Exit(1)
+	}
+	os.Exit(exitCode(err))
+}
+
+// exitCode pins the contract scripts depend on: 0 success, 1 operation
+// failure (a session failed to scan, verify, or compact), 2 usage error.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case isUsageError(err):
+		return 2
+	default:
+		return 1
 	}
 }
 
@@ -106,10 +123,25 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// holdsSessionFiles reports whether dir carries any persisted session
+// state. A partial directory — say a WAL whose snapshot never made it, the
+// footprint of a crash inside CreateLog — still counts: it must surface as
+// that session's scan failure, not vanish from the report.
+func holdsSessionFiles(dir string) bool {
+	for _, name := range []string{persist.SnapshotFile, persist.WALFile, persist.DiffFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // sessionDirs resolves root to the session directories it holds: itself if
-// it contains a snapshot, otherwise every child directory that does.
+// it contains session files, otherwise every child directory that does.
+// Empty child directories are skipped (the daemon's recovery does the
+// same); a root with no session state anywhere is an operation failure.
 func sessionDirs(root string) ([]string, error) {
-	if _, err := os.Stat(filepath.Join(root, persist.SnapshotFile)); err == nil {
+	if holdsSessionFiles(root) {
 		return []string{root}, nil
 	}
 	entries, err := os.ReadDir(root)
@@ -122,12 +154,12 @@ func sessionDirs(root string) ([]string, error) {
 			continue
 		}
 		dir := filepath.Join(root, e.Name())
-		if _, err := os.Stat(filepath.Join(dir, persist.SnapshotFile)); err == nil {
+		if holdsSessionFiles(dir) {
 			dirs = append(dirs, dir)
 		}
 	}
 	if len(dirs) == 0 {
-		return nil, fmt.Errorf("%s holds no session (no %s file at or below it)", root, persist.SnapshotFile)
+		return nil, fmt.Errorf("%s holds no session (no snapshot, WAL, or diff file at or below it)", root)
 	}
 	sort.Strings(dirs)
 	return dirs, nil
@@ -166,6 +198,15 @@ func inspectSession(dir string, out io.Writer) error {
 	if info.Stale > 0 {
 		fmt.Fprintf(out, "  %d stale records already covered by the snapshot (compaction leftovers)\n", info.Stale)
 	}
+	if info.Diffs > 0 {
+		fmt.Fprintf(out, "  %d differential snapshots (%d bytes) merged over the base\n", info.Diffs, info.DiffBytes)
+	}
+	if info.StaleDiffs > 0 {
+		fmt.Fprintf(out, "  %d stale diffs already covered by the base snapshot (compaction leftovers)\n", info.StaleDiffs)
+	}
+	if info.TornDiff {
+		fmt.Fprintf(out, "  torn final diff record discarded (crash mid-diff-compaction)\n")
+	}
 	if info.PrevBytes > 0 {
 		fmt.Fprintf(out, "  interrupted compaction: wal.prev of %d bytes pending merge\n", info.PrevBytes)
 	}
@@ -175,15 +216,13 @@ func inspectSession(dir string, out io.Writer) error {
 	return nil
 }
 
-// restoreSession recovers one session fully in memory: snapshot restored,
-// surviving WAL records replayed in order on the sequential engine.
-func restoreSession(dir string, records []persist.Record) (*distec.Dynamic, error) {
-	f, err := os.Open(filepath.Join(dir, persist.SnapshotFile))
-	if err != nil {
-		return nil, err
-	}
-	d, err := distec.NewDynamicFromSnapshot(f, distec.DynamicOptions{})
-	f.Close()
+// restoreSession recovers one session fully in memory: the effective
+// snapshot (base with the differential-snapshot chain already merged, as
+// ScanDir and OpenLog return it) restored, surviving WAL records replayed
+// in order on the sequential engine. Reading the raw snapshot file instead
+// would silently drop every diff-compacted batch.
+func restoreSession(snap *persist.Snapshot, records []persist.Record) (*distec.Dynamic, error) {
+	d, err := distec.NewDynamicFromState(snap, distec.DynamicOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -194,11 +233,11 @@ func restoreSession(dir string, records []persist.Record) (*distec.Dynamic, erro
 }
 
 func verifySession(dir string, out io.Writer) error {
-	_, replay, info, err := persist.ScanDir(dir)
+	snap, replay, info, err := persist.ScanDir(dir)
 	if err != nil {
 		return err
 	}
-	d, err := restoreSession(dir, replay)
+	d, err := restoreSession(snap, replay)
 	if err != nil {
 		return err
 	}
@@ -218,13 +257,13 @@ func verifySession(dir string, out io.Writer) error {
 func compactSession(dir string, opts persist.Options, out io.Writer) error {
 	// OpenLog repairs the files (torn tail, interrupted compaction) and
 	// hands back the log for the rewrite.
-	lg, _, replay, err := persist.OpenLog(dir, opts)
+	lg, snap, replay, err := persist.OpenLog(dir, opts)
 	if err != nil {
 		return err
 	}
 	defer lg.Close()
 	before := lg.WALSize()
-	d, err := restoreSession(dir, replay)
+	d, err := restoreSession(snap, replay)
 	if err != nil {
 		return err
 	}

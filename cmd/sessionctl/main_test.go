@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,12 +18,21 @@ import (
 // snapshot plus batches of WAL records, exactly as the daemon would.
 func buildSession(t *testing.T, dir string, batches int) *distec.Dynamic {
 	t.Helper()
+	return buildSessionOpts(t, dir, batches, persist.Options{}, 0)
+}
+
+// buildSessionOpts is buildSession with persistence options and an
+// optional mid-churn compaction after compactAt batches (0: never) — the
+// way to grow a session whose state lives partly in a differential
+// snapshot.
+func buildSessionOpts(t *testing.T, dir string, batches int, opts persist.Options, compactAt int) *distec.Dynamic {
+	t.Helper()
 	g := distec.RandomRegular(24, 4, 3)
 	d, err := distec.NewDynamic(g, distec.DynamicOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lg, err := persist.CreateLog(dir, d.Snapshot, persist.Options{})
+	lg, err := persist.CreateLog(dir, d.Snapshot, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,6 +56,15 @@ func buildSession(t *testing.T, dir string, batches int) *distec.Dynamic {
 		}
 		if _, err := d.ApplyBatch(context.Background(), batch); err != nil {
 			t.Fatal(err)
+		}
+		if compactAt > 0 && b+1 == compactAt {
+			var buf bytes.Buffer
+			if err := d.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := lg.Compact(buf.Bytes()); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if err := lg.Close(); err != nil {
@@ -161,7 +182,7 @@ func TestCompact(t *testing.T) {
 	if snap.Seq != 6 || len(replay) != 0 {
 		t.Fatalf("after compact: snapshot seq %d, %d records", snap.Seq, len(replay))
 	}
-	d, err := restoreSession(dir, replay)
+	d, err := restoreSession(snap, replay)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,6 +239,152 @@ func TestUsageErrors(t *testing.T) {
 	// An empty directory is an operation failure, not a usage error.
 	if _, err := runCtl(t, "inspect", t.TempDir()); err == nil || isUsageError(err) {
 		t.Fatalf("empty dir: err = %v, want non-usage failure", err)
+	}
+}
+
+// TestDiffCompactedSessionTools pins the tools against a session whose
+// state lives partly in a differential snapshot: inspect reports the diff
+// chain, verify restores the MERGED snapshot (reading the raw base file
+// would silently drop every diff-covered batch), and compact folds
+// everything back into one full snapshot.
+func TestDiffCompactedSessionTools(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	live := buildSessionOpts(t, dir, 6, persist.Options{DiffCompact: true}, 3)
+	if _, err := os.Stat(filepath.Join(dir, persist.DiffFile)); err != nil {
+		t.Fatalf("no diff file after diff compaction: %v", err)
+	}
+	out, err := runCtl(t, "inspect", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "differential snapshot") {
+		t.Fatalf("inspect silent about the diff chain:\n%s", out)
+	}
+	out, err = runCtl(t, "verify", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok — seq 6") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+	// The restored coloring is the live one, diffs included.
+	snap, replay, _, err := persist.ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := restoreSession(snap, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := live.Colors(), d.Colors()
+	for e := range want {
+		if want[e] != got[e] {
+			t.Fatalf("edge %d: color %d restored, want %d", e, got[e], want[e])
+		}
+	}
+	// compact folds base + diffs + WAL into one full snapshot.
+	out, err = runCtl(t, "compact", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, persist.DiffFile)); !os.IsNotExist(err) {
+		t.Fatalf("diff file survived offline compact: %v", err)
+	}
+	if out, err := runCtl(t, "verify", dir); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+}
+
+// TestPartialSessionDir pins the report on damaged layouts: a session
+// whose snapshot is gone fails loudly (exit 1 path), and an empty
+// subdirectory in a data dir is skipped exactly like the daemon skips it.
+func TestPartialSessionDir(t *testing.T) {
+	root := t.TempDir()
+	buildSession(t, filepath.Join(root, "aaa"), 2)
+	// A WAL without its snapshot: the session must be listed and must fail
+	// its scan — not silently disappear from the report.
+	broken := filepath.Join(root, "bbb")
+	buildSession(t, broken, 2)
+	if err := os.Remove(filepath.Join(broken, persist.SnapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCtl(t, "verify", root)
+	if err == nil || isUsageError(err) {
+		t.Fatalf("partial session dir: err = %v, want operation failure\n%s", err, out)
+	}
+	if !strings.Contains(out, "bbb: FAILED") || !strings.Contains(out, "aaa: ok") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+	// Pointed directly at the partial dir, same story.
+	out, err = runCtl(t, "verify", broken)
+	if err == nil || isUsageError(err) {
+		t.Fatalf("direct partial dir: err = %v, want operation failure\n%s", err, out)
+	}
+
+	// An empty subdirectory is not a session: skipped, run still succeeds.
+	empty := t.TempDir()
+	buildSession(t, filepath.Join(empty, "aaa"), 2)
+	if err := os.Mkdir(filepath.Join(empty, "zzz"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCtl(t, "verify", empty)
+	if err != nil {
+		t.Fatalf("empty subdirectory broke the run: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "zzz") {
+		t.Fatalf("empty subdirectory reported:\n%s", out)
+	}
+}
+
+// TestExitCodes pins the process exit contract scripts depend on.
+func TestExitCodes(t *testing.T) {
+	if got := exitCode(nil); got != 0 {
+		t.Fatalf("success: exit %d, want 0", got)
+	}
+	if got := exitCode(errors.New("session failed")); got != 1 {
+		t.Fatalf("operation failure: exit %d, want 1", got)
+	}
+	if got := exitCode(usageError{msg: "bad"}); got != 2 {
+		t.Fatalf("usage error: exit %d, want 2", got)
+	}
+	// The usage error carries its message through the error interface —
+	// that string is what main prints before exiting 2.
+	if err := run([]string{"frobnicate", "x"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("unknown command error: %v", err)
+	}
+}
+
+// TestUnreplayableWALFails pins the failure mode where the files are
+// intact (every checksum passes) but the recorded updates cannot replay —
+// here a record inserting an out-of-range node. verify must report the
+// session as failed, and compact must refuse to rewrite the snapshot.
+func TestUnreplayableWALFails(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	buildSession(t, dir, 2)
+	lg, _, _, err := persist.OpenLog(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Append(persist.Record{Seq: 3, Updates: []persist.Update{
+		{Op: persist.OpInsert, U: 9999, V: 9998},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCtl(t, "verify", dir)
+	if err == nil || !strings.Contains(out, "FAILED") {
+		t.Fatalf("verify of unreplayable WAL: err=%v\n%s", err, out)
+	}
+	out, err = runCtl(t, "compact", dir)
+	if err == nil || !strings.Contains(out, "FAILED") {
+		t.Fatalf("compact of unreplayable WAL: err=%v\n%s", err, out)
+	}
+	// Refusing means the files are still there, untouched, for inspection.
+	if out, err := runCtl(t, "inspect", dir); err != nil {
+		t.Fatalf("inspect after refused compact: %v\n%s", err, out)
 	}
 }
 

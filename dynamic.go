@@ -36,6 +36,17 @@ var ErrEdgeInactive = dynamic.ErrEdgeInactive
 // never mutated further, and never journaled.
 var ErrSessionClosed = errors.New("distec: dynamic session closed")
 
+// ErrSessionPassivated marks updates against a Dynamic session after
+// Passivate (via errors.Is). It carries the same guarantees as
+// ErrSessionClosed — the session is never mutated or journaled after the
+// mark lands — but tells the caller the durable state is intact and the
+// session can be rehydrated from it: a registry that passivated the session
+// to bound its resident set re-resolves the session and retries the batch,
+// making passivation invisible to clients. Nothing from a
+// passivation-interrupted batch is journaled, so the retry on the
+// rehydrated session replays the whole batch exactly once.
+var ErrSessionPassivated = errors.New("distec: dynamic session passivated")
+
 // ErrJournal marks ApplyBatch errors from the journal hook (via errors.Is):
 // the batch WAS applied to the in-memory coloring — the results are exact —
 // but durability is broken, since the journal did not record it. Callers
@@ -120,13 +131,30 @@ type Dynamic struct {
 	curCtx context.Context
 	// seq counts applied batches (guarded by mu); journal, when set,
 	// receives each one (snapFn is the pre-bound snapshot capture, so the
-	// per-batch JournalBatch costs no closure allocation). closed is read
-	// inside the update loop so an in-flight batch observes Close at its
-	// next update boundary.
+	// per-batch JournalBatch costs no closure allocation). state is read
+	// inside the update loop so an in-flight batch observes Close or
+	// Passivate at its next update boundary.
 	seq     uint64
 	journal JournalFunc
 	snapFn  func(io.Writer) error
-	closed  atomic.Bool
+	state   atomic.Int32
+}
+
+// Dynamic lifecycle states (Dynamic.state). Both terminal states suppress
+// further mutation and journaling; they differ only in what they promise
+// the caller — closed means gone, passivated means rehydratable.
+const (
+	sessionOpen int32 = iota
+	sessionClosed
+	sessionPassivated
+)
+
+// stopErr maps a terminal state to its sentinel.
+func stopErr(state int32) error {
+	if state == sessionPassivated {
+		return ErrSessionPassivated
+	}
+	return ErrSessionClosed
 }
 
 // JournalFunc receives every applied update batch of a Dynamic session; see
@@ -250,8 +278,8 @@ func (d *Dynamic) Delete(u, v int) error {
 func (d *Dynamic) ApplyBatch(ctx context.Context, updates []Update) ([]UpdateResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed.Load() {
-		return nil, ErrSessionClosed
+	if st := d.state.Load(); st != sessionOpen {
+		return nil, stopErr(st)
 	}
 	var (
 		results []UpdateResult
@@ -270,7 +298,7 @@ func (d *Dynamic) ApplyBatch(ctx context.Context, updates []Update) ([]UpdateRes
 			return nil, err
 		}
 	}
-	if len(results) > 0 && !errors.Is(apErr, ErrSessionClosed) {
+	if len(results) > 0 && !errors.Is(apErr, ErrSessionClosed) && !errors.Is(apErr, ErrSessionPassivated) {
 		d.seq++
 		if d.journal != nil {
 			// The journal hook runs under d.mu by documented contract: the
@@ -307,11 +335,13 @@ func (d *Dynamic) applyLocked(ctx context.Context, eng local.Engine, updates []U
 		if err := ctx.Err(); err != nil {
 			return results, err
 		}
-		if d.closed.Load() {
-			// Close landed while this batch was in flight: stop at the
-			// update boundary. The applied prefix stays (results are exact)
-			// but the caller will neither journal nor continue it.
-			return results, fmt.Errorf("update %d: %w", i, ErrSessionClosed)
+		if st := d.state.Load(); st != sessionOpen {
+			// Close or Passivate landed while this batch was in flight: stop
+			// at the update boundary. The applied prefix stays (results are
+			// exact) but the caller will neither journal nor continue it —
+			// for a passivation that means the prefix dies with the resident
+			// state and a retry replays the batch from scratch.
+			return results, fmt.Errorf("update %d: %w", i, stopErr(st))
 		}
 		switch up.Op {
 		case InsertEdge:
@@ -419,7 +449,23 @@ func (d *Dynamic) SetJournal(fn JournalFunc) {
 // journal are quiescent. Read accessors (Colors, Stats, Verify, Snapshot)
 // keep working. Idempotent.
 func (d *Dynamic) Close() error {
-	d.closed.Store(true)
+	d.state.Store(sessionClosed)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return nil
+}
+
+// Passivate marks the session passivated: the in-memory instance stops
+// accepting updates exactly like Close — late batches fail immediately, a
+// batch in flight fails at its next update boundary without journaling —
+// but the failure is ErrSessionPassivated, telling callers the session's
+// durable state is intact and a fresh instance can be rehydrated from it
+// (NewDynamicFromState plus ReplayRecords). Passivate returns once no
+// update is running, so the caller knows the journal is quiescent and the
+// log can be closed. Read accessors keep working on the passivated
+// instance. A closed session stays closed.
+func (d *Dynamic) Passivate() error {
+	d.state.CompareAndSwap(sessionOpen, sessionPassivated)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return nil
@@ -474,6 +520,17 @@ func NewDynamicFromSnapshot(r io.Reader, opts DynamicOptions) (*Dynamic, error) 
 	if err != nil {
 		return nil, err
 	}
+	return NewDynamicFromState(snap, opts)
+}
+
+// NewDynamicFromState is NewDynamicFromSnapshot for an already-parsed
+// snapshot — the state OpenLog or ScanDir hands back with the
+// differential-snapshot chain merged, or the one a replication stream
+// carries. Like ReplayRecords, the parameter type lives in an internal
+// package, making this module plumbing; external callers restore from the
+// encoded stream.
+func NewDynamicFromState(snap *persist.Snapshot, opts DynamicOptions) (*Dynamic, error) {
+	var err error
 	switch Algorithm(snap.Algorithm) {
 	case "", BKO, BKOTheory, PR01, GreedyClasses, Randomized, Vizing:
 	default:

@@ -1,0 +1,272 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Differential snapshots: instead of rewriting the whole snapshot at every
+// compaction, a compaction may append one *diff record* — the overlay delta
+// since the last persisted state — to a "diff" file beside the snapshot.
+// The effective snapshot is then snapshot ⊕ diffs (applied in order), and
+// the recovery contract becomes (snapshot ⊕ diffs) ⊕ seq-filtered WAL.
+//
+// Diff records use the WAL's CRC framing (u32 length | u32 CRC-32C |
+// payload), so the crash calculus is identical: a torn final diff record is
+// discarded, and because wal.prev is only removed after the diff record is
+// durable, the records it summarized are still replayable. Stale diff
+// records (seq at or below the snapshot's — the footprint of a crash
+// between a full compaction's snapshot rename and its diff-file removal)
+// are skipped exactly like stale WAL records.
+//
+// Because a session's graph is append-only (EdgeIDs are stable and
+// tombstones persist), a diff is small: the edges appended since the base
+// state, the (EdgeID, color, active) triples that changed, and the new
+// sequence number and live palette.
+
+// diffMagic opens every diff file; the trailing byte is the format version.
+var diffMagic = [8]byte{'D', 'E', 'C', 'D', 'I', 'F', 'F', 1}
+
+// diff payload wire format, inside the WAL-style record framing:
+//
+//	u64 seq | u32 livePalette | u32 prevM | u32 newM
+//	u32 nNew     | nNew × (u32 u, u32 v, u32 color, u8 active)
+//	u32 nChanged | nChanged × (u32 edgeID, u32 color, u8 active)
+const (
+	diffPayloadFixed = 24
+	diffNewBytes     = 13
+	diffChangedBytes = 9
+)
+
+// diff is one decoded diff record: the delta from a base state at prevM
+// edges to the state at seq with newM edges.
+type diff struct {
+	seq         uint64
+	livePalette int
+	prevM, newM int
+	// appended edges, in EdgeID order starting at prevM
+	newU, newV, newColors []int32
+	newActive             []bool
+	// existing edges whose color or overlay bit changed
+	chID, chColors []int32
+	chActive       []bool
+}
+
+// computeDiff derives the delta between base and cur, which must describe
+// the same session (same node count, same edge prefix) with cur at or past
+// base. Any structural disagreement is an error — the caller falls back to
+// a full snapshot.
+func computeDiff(base, cur *Snapshot) (*diff, error) {
+	if cur.N != base.N {
+		return nil, fmt.Errorf("persist: diff base has %d nodes, current %d", base.N, cur.N)
+	}
+	if cur.Seq < base.Seq {
+		return nil, fmt.Errorf("persist: diff base at seq %d is ahead of current %d", base.Seq, cur.Seq)
+	}
+	prevM, newM := len(base.EdgeU), len(cur.EdgeU)
+	if newM < prevM {
+		return nil, fmt.Errorf("persist: diff base has %d edges, current %d (graphs are append-only)", prevM, newM)
+	}
+	d := &diff{seq: cur.Seq, livePalette: cur.LivePalette, prevM: prevM, newM: newM}
+	for e := 0; e < prevM; e++ {
+		if cur.EdgeU[e] != base.EdgeU[e] || cur.EdgeV[e] != base.EdgeV[e] {
+			return nil, fmt.Errorf("persist: diff base edge %d is {%d,%d}, current {%d,%d}",
+				e, base.EdgeU[e], base.EdgeV[e], cur.EdgeU[e], cur.EdgeV[e])
+		}
+		if cur.Colors[e] != base.Colors[e] || cur.Active[e] != base.Active[e] {
+			d.chID = append(d.chID, int32(e))
+			d.chColors = append(d.chColors, cur.Colors[e])
+			d.chActive = append(d.chActive, cur.Active[e])
+		}
+	}
+	for e := prevM; e < newM; e++ {
+		d.newU = append(d.newU, cur.EdgeU[e])
+		d.newV = append(d.newV, cur.EdgeV[e])
+		d.newColors = append(d.newColors, cur.Colors[e])
+		d.newActive = append(d.newActive, cur.Active[e])
+	}
+	return d, nil
+}
+
+// applyDiff merges d into s in place. The diff must chain: its prevM must
+// equal s's current edge count and its seq must advance past s's.
+func applyDiff(s *Snapshot, d *diff) error {
+	if d.seq <= s.Seq {
+		return fmt.Errorf("persist: diff at seq %d does not advance snapshot seq %d", d.seq, s.Seq)
+	}
+	if d.prevM != len(s.EdgeU) {
+		return fmt.Errorf("persist: diff chains from %d edges, snapshot holds %d", d.prevM, len(s.EdgeU))
+	}
+	if d.newM != d.prevM+len(d.newU) {
+		return fmt.Errorf("persist: diff declares %d edges but appends %d to %d", d.newM, len(d.newU), d.prevM)
+	}
+	for i, id := range d.chID {
+		if int(id) >= d.prevM {
+			return fmt.Errorf("persist: diff changes edge %d beyond base %d", id, d.prevM)
+		}
+		s.Colors[id] = d.chColors[i]
+		s.Active[id] = d.chActive[i]
+	}
+	s.EdgeU = append(s.EdgeU, d.newU...)
+	s.EdgeV = append(s.EdgeV, d.newV...)
+	s.Colors = append(s.Colors, d.newColors...)
+	s.Active = append(s.Active, d.newActive...)
+	s.Seq = d.seq
+	s.LivePalette = d.livePalette
+	return nil
+}
+
+// encodedDiffSize returns the framed size of d on disk. The changed-edge
+// count is a fourth trailing u32 outside diffPayloadFixed because it sits
+// after the variable new-edge section.
+func encodedDiffSize(d *diff) int {
+	return recordHeaderBytes + diffPayloadFixed + diffNewBytes*len(d.newU) + 4 + diffChangedBytes*len(d.chID)
+}
+
+// appendDiffRecord encodes d onto buf in the WAL record framing and returns
+// the extended slice.
+func appendDiffRecord(buf []byte, d *diff) []byte {
+	payloadLen := diffPayloadFixed + diffNewBytes*len(d.newU) + 4 + diffChangedBytes*len(d.chID)
+	start := len(buf)
+	need := start + recordHeaderBytes + payloadLen
+	if cap(buf) < need {
+		buf = append(buf, make([]byte, need-start)...)
+	} else {
+		buf = buf[:need]
+	}
+	payload := buf[start+recordHeaderBytes : need]
+	binary.LittleEndian.PutUint64(payload[0:], d.seq)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(d.livePalette))
+	binary.LittleEndian.PutUint32(payload[12:], uint32(d.prevM))
+	binary.LittleEndian.PutUint32(payload[16:], uint32(d.newM))
+	binary.LittleEndian.PutUint32(payload[20:], uint32(len(d.newU)))
+	off := diffPayloadFixed
+	for i := range d.newU {
+		binary.LittleEndian.PutUint32(payload[off:], uint32(d.newU[i]))
+		binary.LittleEndian.PutUint32(payload[off+4:], uint32(d.newV[i]))
+		binary.LittleEndian.PutUint32(payload[off+8:], uint32(d.newColors[i]))
+		payload[off+12] = 0
+		if d.newActive[i] {
+			payload[off+12] = 1
+		}
+		off += diffNewBytes
+	}
+	// changed-count sits after the new-edge section, so it is located by
+	// arithmetic on nNew rather than a second fixed offset
+	tail := payload[off:]
+	binary.LittleEndian.PutUint32(tail[0:], uint32(len(d.chID)))
+	off2 := 4
+	for i := range d.chID {
+		binary.LittleEndian.PutUint32(tail[off2:], uint32(d.chID[i]))
+		binary.LittleEndian.PutUint32(tail[off2+4:], uint32(d.chColors[i]))
+		tail[off2+8] = 0
+		if d.chActive[i] {
+			tail[off2+8] = 1
+		}
+		off2 += diffChangedBytes
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// readDiffRecord parses one framed diff record from r: errTorn for an
+// incomplete or checksum-failing record, io.EOF at a clean end.
+func readDiffRecord(r io.Reader) (*diff, error) {
+	var header [recordHeaderBytes]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTorn
+	}
+	payloadLen := binary.LittleEndian.Uint32(header[0:])
+	wantCRC := binary.LittleEndian.Uint32(header[4:])
+	if payloadLen < diffPayloadFixed+4 || payloadLen > maxRecordBytes {
+		return nil, errTorn
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTorn
+	}
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return nil, errTorn
+	}
+	d := &diff{
+		seq:         binary.LittleEndian.Uint64(payload[0:]),
+		livePalette: int(binary.LittleEndian.Uint32(payload[8:])),
+		prevM:       int(binary.LittleEndian.Uint32(payload[12:])),
+		newM:        int(binary.LittleEndian.Uint32(payload[16:])),
+	}
+	nNew := binary.LittleEndian.Uint32(payload[20:])
+	if d.prevM > MaxSnapshotEdges || d.newM > MaxSnapshotEdges || d.livePalette > 1<<31 {
+		return nil, fmt.Errorf("persist: diff record bounds exceeded (prevM=%d newM=%d)", d.prevM, d.newM)
+	}
+	need := uint64(diffPayloadFixed) + uint64(nNew)*diffNewBytes + 4
+	if need > uint64(payloadLen) {
+		return nil, errTorn
+	}
+	off := diffPayloadFixed
+	for i := uint32(0); i < nNew; i++ {
+		d.newU = append(d.newU, int32(binary.LittleEndian.Uint32(payload[off:])))
+		d.newV = append(d.newV, int32(binary.LittleEndian.Uint32(payload[off+4:])))
+		d.newColors = append(d.newColors, int32(binary.LittleEndian.Uint32(payload[off+8:])))
+		d.newActive = append(d.newActive, payload[off+12] != 0)
+		off += diffNewBytes
+	}
+	nChanged := binary.LittleEndian.Uint32(payload[off:])
+	off += 4
+	if uint64(off)+uint64(nChanged)*diffChangedBytes != uint64(payloadLen) {
+		return nil, errTorn
+	}
+	for i := uint32(0); i < nChanged; i++ {
+		d.chID = append(d.chID, int32(binary.LittleEndian.Uint32(payload[off:])))
+		d.chColors = append(d.chColors, int32(binary.LittleEndian.Uint32(payload[off+4:])))
+		d.chActive = append(d.chActive, payload[off+8] != 0)
+		off += diffChangedBytes
+	}
+	return d, nil
+}
+
+// diffScan is one diff file's parse: the records of the valid prefix, and
+// clean=false when a torn final record was discarded.
+type diffScan struct {
+	diffs []*diff
+	clean bool
+}
+
+// readDiffFile parses a diff file; os.ErrNotExist passes through (the
+// normal state — most sessions never compact differentially).
+func readDiffFile(path string) (diffScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return diffScan{}, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return diffScan{clean: false}, nil // crash before the magic landed
+	}
+	if magic != diffMagic {
+		return diffScan{}, fmt.Errorf("persist: %s: bad diff magic %q", path, magic[:])
+	}
+	sc := diffScan{clean: true}
+	for {
+		d, err := readDiffRecord(f)
+		if err == io.EOF {
+			return sc, nil
+		}
+		if errors.Is(err, errTorn) {
+			sc.clean = false
+			return sc, nil
+		}
+		if err != nil {
+			return diffScan{}, fmt.Errorf("persist: %s: %w", path, err)
+		}
+		sc.diffs = append(sc.diffs, d)
+	}
+}

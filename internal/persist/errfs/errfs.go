@@ -1,0 +1,172 @@
+// Package errfs is a fault-injecting persist.FS for crash and durability
+// testing: it passes every operation through to the real filesystem, but
+// can be armed to fail the Nth write, fsync, or rename it sees — writing a
+// configurable partial prefix first, so a failed append leaves exactly the
+// torn tail a real crash mid-write leaves. Because the files are real,
+// recovery code (ScanDir, OpenLog) then reads whatever bytes actually
+// landed, with no simulation gap.
+//
+// The intended shape of a test is counting-then-replaying: run a script
+// once over a clean FS to count its operations, then re-run it in a fresh
+// directory once per operation index with a fault armed there, and assert
+// the recovery invariant (no acknowledged batch lost) after every run.
+package errfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/distec/distec/internal/persist"
+)
+
+// ErrInjected is the error every armed fault returns (via errors.Is).
+var ErrInjected = errors.New("errfs: injected fault")
+
+// FS is a fault-injecting persist.FS. Arm at most one fault per run; the
+// zero FS injects nothing. Safe for concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	renames int
+
+	failWriteAt  int // 1-based write index to fail; 0 = never
+	partialBytes int // bytes the failing write lands before erroring
+	failSyncAt   int
+	failRenameAt int
+
+	fired string
+}
+
+// New returns an FS with no fault armed.
+func New() *FS { return &FS{} }
+
+// FailWrite arms the nth (1-based) file write to fail after landing
+// partial bytes of its buffer — the torn tail of a crash mid-write.
+func (f *FS) FailWrite(n, partial int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWriteAt, f.partialBytes = n, partial
+}
+
+// FailSync arms the nth (1-based) fsync to fail.
+func (f *FS) FailSync(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncAt = n
+}
+
+// FailRename arms the nth (1-based) rename to fail.
+func (f *FS) FailRename(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failRenameAt = n
+}
+
+// Ops returns the operations counted so far: a probe run over a clean FS
+// enumerates the fault points a crash table then iterates.
+func (f *FS) Ops() (writes, syncs, renames int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs, f.renames
+}
+
+// Fired describes the fault that fired ("" when none has).
+func (f *FS) Fired() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (persist.File, error) {
+	file, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.renames++
+	if f.renames == f.failRenameAt {
+		f.fired = fmt.Sprintf("rename %d (%s -> %s)", f.renames, oldpath, newpath)
+		f.mu.Unlock()
+		return fmt.Errorf("%w: rename %s", ErrInjected, newpath)
+	}
+	f.mu.Unlock()
+	return os.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error { return os.Remove(name) }
+
+// faultFile wraps a real file, routing Write and Sync through the fault
+// counters.
+type faultFile struct {
+	fs *FS
+	f  *os.File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	ff.fs.writes++
+	if ff.fs.writes == ff.fs.failWriteAt {
+		partial := ff.fs.partialBytes
+		if partial > len(p) {
+			partial = len(p)
+		}
+		ff.fs.fired = fmt.Sprintf("write %d (%s, %d of %d bytes)", ff.fs.writes, ff.f.Name(), partial, len(p))
+		ff.fs.mu.Unlock()
+		n, _ := ff.f.Write(p[:partial])
+		return n, fmt.Errorf("%w: write %s", ErrInjected, ff.f.Name())
+	}
+	ff.fs.mu.Unlock()
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	ff.fs.syncs++
+	if ff.fs.syncs == ff.fs.failSyncAt {
+		ff.fs.fired = fmt.Sprintf("fsync %d (%s)", ff.fs.syncs, ff.f.Name())
+		ff.fs.mu.Unlock()
+		return fmt.Errorf("%w: fsync %s", ErrInjected, ff.f.Name())
+	}
+	ff.fs.mu.Unlock()
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+// Truncate chops n bytes off the end of path — the on-demand torn tail for
+// crash tables that damage files after the fact rather than during writes.
+func Truncate(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// FlipByte XORs one byte of path at offset off — the bit-rot injection for
+// corruption tables.
+func FlipByte(path string, off int64, mask byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= mask
+	_, err = f.WriteAt(b[:], off)
+	return err
+}

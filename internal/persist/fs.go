@@ -1,0 +1,44 @@
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam every mutating operation of a Log goes through:
+// file creation and appends, fsyncs, the tmp+rename commits, and removals.
+// Read paths (ScanDir, recovery scans) read the real filesystem directly —
+// the seam exists so tests can inject write/fsync/rename faults at exact
+// operation counts (see internal/persist/errfs) while recovery still sees
+// whatever bytes actually landed. A nil Options.FS selects the real
+// filesystem.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the subset of *os.File the log's write paths need.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the default FS: the real filesystem.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (o Options) fs() FS {
+	if o.FS == nil {
+		return osFS{}
+	}
+	return o.FS
+}

@@ -21,6 +21,8 @@ type Metrics struct {
 	recoveries    atomic.Uint64
 	recoveredRecs atomic.Uint64
 	tornTails     atomic.Uint64
+	diffCompacts  atomic.Uint64
+	diffBytes     atomic.Uint64
 }
 
 // Register exposes the counters on reg as the distec_persist_* families.
@@ -34,6 +36,16 @@ func (m *Metrics) Register(reg *metrics.Registry) {
 	reg.CounterFunc("distec_persist_recoveries_total", "Session logs opened through crash recovery (OpenLog).", m.recoveries.Load)
 	reg.CounterFunc("distec_persist_recovered_records_total", "WAL records surviving recovery, across sessions.", m.recoveredRecs.Load)
 	reg.CounterFunc("distec_persist_torn_tails_total", "Recoveries that discarded a torn trailing record.", m.tornTails.Load)
+	reg.CounterFunc("distec_persist_diff_compactions_total", "Compactions served by an appended differential snapshot instead of a full rewrite.", m.diffCompacts.Load)
+	reg.CounterFunc("distec_persist_diff_appended_bytes_total", "Bytes appended to differential-snapshot files.", m.diffBytes.Load)
+}
+
+func (m *Metrics) countDiffCompaction(bytes int) {
+	if m == nil {
+		return
+	}
+	m.diffCompacts.Add(1)
+	m.diffBytes.Add(uint64(bytes))
 }
 
 func (m *Metrics) countAppend(bytes int, fsynced bool) {

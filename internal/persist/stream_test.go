@@ -1,0 +1,97 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	snap := sampleSnapshot(4)
+	recs := []Record{
+		{Seq: 5, Updates: []Update{{Op: OpInsert, U: 1, V: 3}}},
+		{Seq: 6, Updates: []Update{{Op: OpDelete, U: 1, V: 3}, {Op: OpInsert, U: 0, V: 2}}},
+	}
+	for _, withSnap := range []bool{true, false} {
+		var buf bytes.Buffer
+		s := snap
+		if !withSnap {
+			s = nil
+		}
+		if err := WriteStream(&buf, s, recs); err != nil {
+			t.Fatal(err)
+		}
+		gotSnap, gotRecs, err := ReadStream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (gotSnap != nil) != withSnap {
+			t.Fatalf("withSnap=%v: snapshot presence %v", withSnap, gotSnap != nil)
+		}
+		if withSnap && fmt.Sprintf("%+v", gotSnap) != fmt.Sprintf("%+v", snap) {
+			t.Fatalf("snapshot mismatch")
+		}
+		if fmt.Sprintf("%+v", gotRecs) != fmt.Sprintf("%+v", recs) {
+			t.Fatalf("records mismatch: %+v", gotRecs)
+		}
+		// A truncation landing mid-record or mid-header is an error — a
+		// failed transfer, never data. (A cut at an exact record boundary
+		// reads as a shorter valid stream; the follower re-polls from its
+		// head, so nothing is lost.)
+		data := buf.Bytes()
+		for _, cut := range []int{len(data) - 1, len(data) - 5, 13, 3} {
+			if cut < 0 || cut >= len(data) {
+				continue
+			}
+			if _, _, err := ReadStream(bytes.NewReader(data[:cut])); err == nil {
+				t.Fatalf("withSnap=%v cut=%d: truncation accepted", withSnap, cut)
+			}
+		}
+	}
+	// Empty stream (no snapshot, no records) round-trips: the long-poll
+	// timeout response.
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	gotSnap, gotRecs, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil || gotSnap != nil || len(gotRecs) != 0 {
+		t.Fatalf("empty stream: snap=%v recs=%d err=%v", gotSnap, len(gotRecs), err)
+	}
+}
+
+func TestReadState(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	l := mustCreateLog(t, dir, sampleSnapshot(0), Options{})
+	appendN(t, l, 1, 5)
+
+	// Bootstrap: the follower holds nothing, so the snapshot comes along
+	// even though it sits at seq 0.
+	snap, recs, err := ReadState(dir, 0, true)
+	if err != nil || snap == nil || len(recs) != 5 {
+		t.Fatalf("bootstrap: snap=%v recs=%d err=%v", snap != nil, len(recs), err)
+	}
+	// Caught-up tail: records beyond from only.
+	snap, recs, err = ReadState(dir, 3, false)
+	if err != nil || snap != nil || len(recs) != 2 || recs[0].Seq != 4 {
+		t.Fatalf("tail: snap=%v recs=%+v err=%v", snap != nil, recs, err)
+	}
+	// Fully caught up: empty.
+	snap, recs, err = ReadState(dir, 5, false)
+	if err != nil || snap != nil || len(recs) != 0 {
+		t.Fatalf("caught up: snap=%v recs=%d err=%v", snap != nil, len(recs), err)
+	}
+
+	// After compaction past the follower's position, the snapshot comes
+	// back.
+	state := sampleSnapshot(5)
+	if err := l.Compact(encodeSnapshot(t, state)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	snap, recs, err = ReadState(dir, 3, false)
+	if err != nil || snap == nil || snap.Seq != 5 || len(recs) != 0 {
+		t.Fatalf("post-compaction: snap=%v recs=%d err=%v", snap, len(recs), err)
+	}
+}

@@ -179,6 +179,119 @@ func BenchmarkPersist(b *testing.B) {
 	})
 }
 
+// BenchmarkPassivation measures the passivation economy — the
+// BENCH_persist.json "passivation" section:
+//
+//   - rehydrate/*: the full price of touching a passivated session (what
+//     the daemon's acquire pays on a miss): OpenLog with the diff chain
+//     merged, coloring restore, WAL replay, and the independent Verify,
+//     against the replay length left after compaction.
+//   - compact-full vs compact-diff: the same small-delta compaction served
+//     by a full snapshot rewrite and by an appended differential snapshot,
+//     with the bytes each one writes reported alongside the time.
+func BenchmarkPassivation(b *testing.B) {
+	for _, walLen := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("rehydrate/wal-%d", walLen), func(b *testing.B) {
+			dir := filepath.Join(b.TempDir(), "sess")
+			g := benchDynamicGraph()
+			d, err := NewDynamic(g, DynamicOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lg := journalOn(b, d, dir, persist.Options{CompactBytes: 1 << 40})
+			for _, op := range bench.Churn(g, walLen, 7) {
+				if op.Delete {
+					err = d.Delete(op.U, op.V)
+				} else {
+					_, _, err = d.Insert(op.U, op.V)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := lg.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lg, snap, records, err := persist.OpenLog(dir, persist.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := NewDynamicFromState(snap, DynamicOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ReplayRecords(context.Background(), r, records); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Verify(); err != nil {
+					b.Fatal(err)
+				}
+				lg.Close()
+			}
+		})
+	}
+
+	smallDeltaCompact := func(b *testing.B, diff bool, watch string) {
+		dir := filepath.Join(b.TempDir(), "sess")
+		g := benchDynamicGraph()
+		d, err := NewDynamic(g, DynamicOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lg := journalOn(b, d, dir, persist.Options{CompactBytes: 1 << 40, DiffCompact: diff})
+		defer lg.Close()
+		ops := bench.Churn(g, 4*b.N+4, 13)
+		fileSize := func(name string) int64 {
+			fi, err := os.Stat(filepath.Join(dir, name))
+			if err != nil {
+				return 0
+			}
+			return fi.Size()
+		}
+		b.ResetTimer()
+		var written int64
+		for i := 0; i < b.N; i++ {
+			// A four-update delta since the last compaction: the regime the
+			// differential path exists for.
+			for k := 0; k < 4; k++ {
+				op := ops[4*i+k]
+				if op.Delete {
+					err = d.Delete(op.U, op.V)
+				} else {
+					_, _, err = d.Insert(op.U, op.V)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := d.Snapshot(&buf); err != nil {
+				b.Fatal(err)
+			}
+			before := fileSize(watch)
+			if err := lg.Compact(buf.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+			if !diff {
+				written += fileSize(watch) // the full path rewrites the file
+			} else if after := fileSize(watch); after >= before {
+				written += after - before // the diff path appends
+			} else {
+				// The diff file shrank: this compaction fell back to a full
+				// snapshot rewrite (the chain had grown past the point where
+				// appending beats rewriting) and cleared the chain.
+				written += fileSize(persist.SnapshotFile)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(written)/float64(b.N), "disk-bytes/op")
+	}
+	b.Run("compact-full", func(b *testing.B) { smallDeltaCompact(b, false, persist.SnapshotFile) })
+	b.Run("compact-diff", func(b *testing.B) { smallDeltaCompact(b, true, persist.DiffFile) })
+}
+
 // absentPair returns one node pair that is not an edge of g.
 func absentPair(g *Graph) (int, int) {
 	for u := 0; u < g.N(); u++ {

@@ -1,7 +1,9 @@
 package distec
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -308,6 +310,133 @@ func TestPropertyDynamicStreams(t *testing.T) {
 						batch:   1 + rng.Intn(9),
 						ops:     ops,
 					})
+				}
+			}
+		})
+	}
+}
+
+// runPassivationTrial runs one trial twice in lockstep — a control session
+// that stays resident, and a subject that passivates (snapshot, marked,
+// discarded) and rehydrates (restored from the snapshot bytes) at random
+// batch boundaries — and demands bit-identical colorings after every
+// batch. This is the equivalence the daemon's LRU eviction leans on:
+// a session's future must not depend on whether it ever left memory.
+func runPassivationTrial(tr propTrial, rng *rand.Rand) error {
+	gc, err := tr.buildGraph()
+	if err != nil {
+		return err
+	}
+	gs, err := tr.buildGraph()
+	if err != nil {
+		return err
+	}
+	initAlg := tr.alg
+	if tr.palette <= gc.MaxEdgeDegree() {
+		initAlg = Vizing
+	}
+	init, err := ColorEdges(gc, Options{Algorithm: initAlg, Palette: tr.palette, Seed: 5})
+	if err != nil {
+		return fmt.Errorf("initial coloring (%s): %w", initAlg, err)
+	}
+	opts := DynamicOptions{Options: Options{Algorithm: tr.alg, Palette: tr.palette, Seed: 5}}
+	control, err := NewDynamicFrom(gc, init.Colors, opts)
+	if err != nil {
+		return fmt.Errorf("control session: %w", err)
+	}
+	subject, err := NewDynamicFrom(gs, init.Colors, opts)
+	if err != nil {
+		return fmt.Errorf("subject session: %w", err)
+	}
+	cycled := false
+	for start := 0; start < len(tr.ops); start += tr.batch {
+		end := start + tr.batch
+		if end > len(tr.ops) {
+			end = len(tr.ops)
+		}
+		batch := tr.ops[start:end]
+		// Passivate-then-rehydrate the subject at random boundaries, always
+		// at least once (the first one).
+		if !cycled || rng.Float64() < 0.35 {
+			cycled = true
+			var buf bytes.Buffer
+			if err := subject.Snapshot(&buf); err != nil {
+				return fmt.Errorf("snapshot before batch [%d:%d]: %w", start, end, err)
+			}
+			if err := subject.Passivate(); err != nil {
+				return fmt.Errorf("passivate before batch [%d:%d]: %w", start, end, err)
+			}
+			// A passivated session is terminal: the interrupted-batch path
+			// must answer ErrSessionPassivated, never apply.
+			if _, err := subject.ApplyBatch(ctxBackground, batch); !errors.Is(err, ErrSessionPassivated) {
+				return fmt.Errorf("passivated session answered batch [%d:%d] with %v, want ErrSessionPassivated", start, end, err)
+			}
+			subject, err = NewDynamicFromSnapshot(bytes.NewReader(buf.Bytes()), DynamicOptions{})
+			if err != nil {
+				return fmt.Errorf("rehydrate before batch [%d:%d]: %w", start, end, err)
+			}
+		}
+		if _, err := control.ApplyBatch(ctxBackground, batch); err != nil {
+			return fmt.Errorf("control batch [%d:%d]: %w", start, end, err)
+		}
+		if _, err := subject.ApplyBatch(ctxBackground, batch); err != nil {
+			return fmt.Errorf("subject batch [%d:%d]: %w", start, end, err)
+		}
+		if err := subject.Verify(); err != nil {
+			return fmt.Errorf("subject verify after batch [%d:%d]: %w", start, end, err)
+		}
+		// Bit-identical equivalence on everything a snapshot restores:
+		// sequence, palette, and the full per-edge coloring, tombstones
+		// included. (DynamicStats repair counters reset on restore, by
+		// design — they are observability, not state.)
+		if cs, ss := control.Seq(), subject.Seq(); cs != ss {
+			return fmt.Errorf("after batch [%d:%d]: control seq %d, subject seq %d", start, end, cs, ss)
+		}
+		if cp, sp := control.Palette(), subject.Palette(); cp != sp {
+			return fmt.Errorf("after batch [%d:%d]: control palette %d, subject palette %d", start, end, cp, sp)
+		}
+		cc, sc := control.Colors(), subject.Colors()
+		if len(cc) != len(sc) {
+			return fmt.Errorf("after batch [%d:%d]: control %d edges, subject %d", start, end, len(cc), len(sc))
+		}
+		for e := range cc {
+			if cc[e] != sc[e] {
+				return fmt.Errorf("after batch [%d:%d]: edge %d colored %d resident, %d through passivation", start, end, e, cc[e], sc[e])
+			}
+		}
+	}
+	return nil
+}
+
+// TestPropertyPassivationEquivalence: for every algorithm and both palette
+// regimes, a session that passivates and rehydrates at random batch
+// boundaries produces bit-identical colorings to one that never left
+// memory.
+func TestPropertyPassivationEquivalence(t *testing.T) {
+	algorithms := []Algorithm{BKO, BKOTheory, PR01, GreedyClasses, Randomized, Vizing}
+	const trialsPerCase = 2
+	for _, alg := range algorithms {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(alg))*104729 + 17))
+			for i := 0; i < trialsPerCase; i++ {
+				n, edges, ops := genTrialBase(rng)
+				maxDeg := maxStreamDegree(n, edges, ops)
+				for _, palette := range []int{2*maxDeg - 1, maxDeg + 1} {
+					if palette < 1 {
+						palette = 1
+					}
+					tr := propTrial{
+						n:       n,
+						edges:   edges,
+						alg:     alg,
+						palette: palette,
+						batch:   1 + rng.Intn(9),
+						ops:     ops,
+					}
+					if err := runPassivationTrial(tr, rng); err != nil {
+						t.Fatalf("trial %d palette %d: %v", i, palette, err)
+					}
 				}
 			}
 		})
