@@ -1,7 +1,9 @@
 // Command distecvet runs distec's repo-specific static-analysis suite:
-// five analyzers (determinism, sentinelerr, hotpath, lockio,
-// metricnames) that machine-check the conventions the codebase's
-// correctness rests on. It is the CI gate beside go vet.
+// nine analyzers (atomicmix, ctxflow, determinism, goroleak, hotpath,
+// lockio, lockorder, metricnames, sentinelerr) that machine-check the
+// conventions the codebase's correctness rests on — including the
+// interprocedural ones built on the module-wide call graph. It is the
+// CI gate beside go vet.
 //
 // Usage:
 //
@@ -22,6 +24,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"github.com/distec/distec/internal/analysis"
 )
@@ -46,7 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *list {
-		for _, a := range analysis.Analyzers() {
+		as := analysis.Analyzers()
+		sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+		for _, a := range as {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0

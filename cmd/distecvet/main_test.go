@@ -22,6 +22,31 @@ func TestListExitsCleanAndNamesEveryAnalyzer(t *testing.T) {
 	}
 }
 
+// TestListGolden pins the exact -list output: sorted by analyzer name,
+// one line each with the one-line doc. A new analyzer, a rename, or a
+// doc rewrite must update this golden deliberately.
+func TestListGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %q", code, stderr.String())
+	}
+	want := strings.Join([]string{
+		"atomicmix    flags fields accessed both through sync/atomic and with plain reads/writes anywhere in the module",
+		"ctxflow      enforces context discipline: ctx first param, no ctx struct fields, cancel called on all paths, no fresh roots in request-scoped code",
+		"determinism  flags nondeterminism sources (map-order-dependent writes, wall clock, global rand, multi-way select) in solver packages",
+		"goroleak     flags go statements whose goroutine reaches an infinite loop with no return, break, or Goexit on any path",
+		"hotpath      flags fmt, capturing closures, map allocation, fresh-slice append, and unguarded trace calls inside (or statically reachable from) //distec:hotpath functions",
+		"lockio       flags blocking I/O (file writes, fsync, os calls, journal hooks) reachable, directly or through static callees, while a mutex locked in the same function is held",
+		"lockorder    builds the module-wide mutex acquired-while-held graph across static call chains and reports cycles as deadlock candidates",
+		"metricnames  validates metric registration names, flags duplicates, and cross-checks the README metric catalog",
+		"sentinelerr  flags ==/!= comparisons against module sentinel errors and fmt.Errorf wrapping a sentinel without %w",
+		"",
+	}, "\n")
+	if got := stdout.String(); got != want {
+		t.Errorf("-list output:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestUnknownFlagIsUsageError(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {

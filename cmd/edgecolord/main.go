@@ -932,6 +932,10 @@ func (s *server) recoverSession(id string) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Boot recovery runs before the listener accepts anything: there is no
+	// request whose deadline could bound this replay, and aborting half-way
+	// would just re-run the same work on the next start.
+	//distec:nolint ctxflow
 	if err := distec.ReplayRecords(context.Background(), d, records); err != nil {
 		return nil, err
 	}
@@ -1338,7 +1342,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	if s.beforeUpdate != nil {
 		s.beforeUpdate()
 	}
-	d, err := s.acquire(sess)
+	d, err := s.acquire(r.Context(), sess)
 	if err != nil {
 		s.failAcquire(w, err)
 		return
@@ -1379,7 +1383,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		// batch. The interrupted attempt journaled nothing and its memory
 		// state was discarded with the Dynamic, so rehydrating and replaying
 		// the whole batch applies it exactly once.
-		d2, aerr := s.acquire(sess)
+		d2, aerr := s.acquire(ctx, sess)
 		if aerr != nil {
 			sess.inflight.Add(-1)
 			sess.touch()
@@ -1460,7 +1464,7 @@ func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.touch()
-	d, err := s.acquire(sess)
+	d, err := s.acquire(r.Context(), sess)
 	if err != nil {
 		s.failAcquire(w, err)
 		return

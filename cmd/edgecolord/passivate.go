@@ -24,9 +24,11 @@ import (
 // in full against the rehydrated state — exactly once end to end.
 
 // acquire returns the session's live Dynamic, rehydrating it from disk
-// first when passivated. The caller must hold a registry reference (from
+// first when passivated. ctx bounds the rehydration replay (it is the
+// request's context: a caller that gave up must not pin the session lock
+// through a long replay). The caller must hold a registry reference (from
 // s.session); a session deleted concurrently fails with ErrSessionClosed.
-func (s *server) acquire(sess *session) (*distec.Dynamic, error) {
+func (s *server) acquire(ctx context.Context, sess *session) (*distec.Dynamic, error) {
 	sess.mu.Lock()
 	if sess.dropped {
 		sess.mu.Unlock()
@@ -37,7 +39,11 @@ func (s *server) acquire(sess *session) (*distec.Dynamic, error) {
 		sess.mu.Unlock()
 		return d, nil
 	}
-	d, err := s.rehydrateLocked(sess)
+	// Rehydration I/O under sess.mu is the design, not an accident: the
+	// session must not serve (or passivate again) while half-restored, and
+	// every waiter needs exactly this state before proceeding.
+	//distec:nolint lockio
+	d, err := s.rehydrateLocked(ctx, sess)
 	sess.mu.Unlock()
 	if err == nil {
 		// The rehydrated session may push the resident set past the limit;
@@ -49,8 +55,10 @@ func (s *server) acquire(sess *session) (*distec.Dynamic, error) {
 
 // rehydrateLocked rebuilds a passivated session from its directory —
 // open (repairing any torn tail), restore the merged snapshot, replay,
-// verify — and reinstalls it as resident. Caller holds sess.mu.
-func (s *server) rehydrateLocked(sess *session) (*distec.Dynamic, error) {
+// verify — and reinstalls it as resident. ctx aborts the replay (the
+// requester's deadline governs how long a rehydration may run). Caller
+// holds sess.mu.
+func (s *server) rehydrateLocked(ctx context.Context, sess *session) (*distec.Dynamic, error) {
 	start := time.Now()
 	dir := filepath.Join(s.cfg.dataDir, sess.id)
 	lg, snap, records, err := persist.OpenLog(dir, s.persistOptions())
@@ -62,7 +70,7 @@ func (s *server) rehydrateLocked(sess *session) (*distec.Dynamic, error) {
 		lg.Close()
 		return nil, fmt.Errorf("rehydrate %s: %w", sess.id, err)
 	}
-	if err := distec.ReplayRecords(context.Background(), d, records); err != nil {
+	if err := distec.ReplayRecords(ctx, d, records); err != nil {
 		lg.Close()
 		return nil, fmt.Errorf("rehydrate %s: %w", sess.id, err)
 	}

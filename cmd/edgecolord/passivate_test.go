@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"os"
@@ -300,5 +302,57 @@ func TestPassivatedSessionDelete(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("surviving session update: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestRehydrationHonorsCallerContext pins the context threading through
+// acquire → rehydrateLocked → ReplayRecords: a caller that has already
+// given up must not pay for (or pin the session lock through) a full
+// replay, while a live caller still rehydrates transparently.
+func TestRehydrationHonorsCallerContext(t *testing.T) {
+	dataDir := t.TempDir()
+	ts, srv, _ := newTestServerCfg(t, daemonConfig{dataDir: dataDir, maxResident: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(distec.Cycle(4))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	// One journaled batch so the passivated session has records to replay.
+	resp, body = postJSON(t, ts.URL+"/v1/session/"+sr.SessionID+"/update", updateRequest{
+		Updates: []distec.Update{{Op: distec.InsertEdge, U: 0, V: 2}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: status %d: %s", resp.StatusCode, body)
+	}
+	// A second session evicts the first (maxResident: 1).
+	resp, body = postJSON(t, ts.URL+"/v1/session", sessionRequest{Graph: graphToSpec(distec.Cycle(4))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create second: status %d: %s", resp.StatusCode, body)
+	}
+	sess, ok := srv.session(sr.SessionID)
+	if !ok {
+		t.Fatalf("session %s gone from registry", sr.SessionID)
+	}
+	if sess.resident.Load() {
+		t.Fatal("first session still resident; passivation did not trigger")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.acquire(ctx, sess); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if sess.resident.Load() {
+		t.Fatal("aborted rehydration left the session marked resident")
+	}
+	// A live caller rehydrates through the same path.
+	d, err := srv.acquire(context.Background(), sess)
+	if err != nil {
+		t.Fatalf("acquire after aborted rehydration: %v", err)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatalf("rehydrated coloring invalid: %v", err)
 	}
 }

@@ -229,7 +229,11 @@ type follower struct {
 	firstFail time.Time
 
 	// ctx cancels in-flight HTTP polls the instant the follower stops or
-	// promotes, so shutdown never waits out a leader-side long poll.
+	// promotes, so shutdown never waits out a leader-side long poll. The
+	// field is the follower's own lifecycle root, created and cancelled by
+	// this struct — not a stored caller context, so its deadline cannot go
+	// stale.
+	//distec:nolint ctxflow
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -262,6 +266,9 @@ func newFollower(s *server) *follower {
 		promoteC:     make(chan struct{}),
 		promoted:     make(chan struct{}),
 	}
+	// The follower is a daemon-lifetime component: its root deliberately
+	// outlives any request, and Stop/promotion cancel it.
+	//distec:nolint ctxflow
 	f.ctx, f.cancel = context.WithCancel(context.Background())
 	reg := s.reg
 	f.polls = reg.Counter("distec_replication_polls_total", "Replication fetches issued against the leader (session lists and per-session tails).")

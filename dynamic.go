@@ -126,8 +126,12 @@ type Dynamic struct {
 	pool *Pool
 	// engine is the one-shot repair engine (nil in pool mode); cur/curCtx
 	// bind repairs to the engine and context of the batch being applied.
+	// curCtx is set and cleared under mu strictly within one ApplyBatch, so
+	// it never outlives the call that supplied it — it exists only because
+	// the repair callbacks have no parameter to carry it.
 	engine local.Engine
 	cur    local.Engine
+	//distec:nolint ctxflow
 	curCtx context.Context
 	// seq counts applied batches (guarded by mu); journal, when set,
 	// receives each one (snapFn is the pre-bound snapshot capture, so the
@@ -478,6 +482,10 @@ func (d *Dynamic) Passivate() error {
 func (d *Dynamic) Snapshot(w io.Writer) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Snapshot consistency requires serializing under mu: the encoder must
+	// observe a coloring no update is mutating, so the writer's latency is
+	// deliberately inside the lock.
+	//distec:nolint lockio
 	return d.snapshotLocked(w)
 }
 

@@ -107,6 +107,12 @@ type Config struct {
 	// set (both directions: undocumented registrations and stale doc rows
 	// are findings).
 	ReadmePath string
+	// RequestScopedPackages are import-path suffixes of packages whose
+	// code runs per request or per session: the ctxflow analyzer forbids
+	// minting fresh roots via context.Background()/TODO() there (outside
+	// main/init), because a root context detaches the work from the
+	// caller's deadline and cancellation.
+	RequestScopedPackages []string
 }
 
 // DefaultConfig returns the configuration for this repository.
@@ -125,6 +131,10 @@ func DefaultConfig() Config {
 		MetricsPkgSuffix: "internal/metrics",
 		TracePkgSuffix:   "internal/trace",
 		ReadmePath:       "README.md",
+		RequestScopedPackages: []string{
+			"internal/serve",
+			"cmd/edgecolord",
+		},
 	}
 }
 
@@ -138,6 +148,10 @@ func Analyzers() []*Analyzer {
 		newHotPath(),
 		newLockIO(),
 		newMetricNames(),
+		newLockOrder(),
+		newGoroLeak(),
+		newCtxFlow(),
+		newAtomicMix(),
 	}
 }
 

@@ -15,10 +15,11 @@ import (
 // fixtureConfig points the suite at the testdata module's stand-ins.
 func fixtureConfig() analysis.Config {
 	return analysis.Config{
-		SolverPackages:   []string{"determ"},
-		MetricsPkgSuffix: "stubs/metrics",
-		TracePkgSuffix:   "stubs/trace",
-		ReadmePath:       "README.md",
+		SolverPackages:        []string{"determ"},
+		MetricsPkgSuffix:      "stubs/metrics",
+		TracePkgSuffix:        "stubs/trace",
+		ReadmePath:            "README.md",
+		RequestScopedPackages: []string{"ctxflow"},
 	}
 }
 
@@ -179,7 +180,7 @@ func TestSelectPatterns(t *testing.T) {
 // TestAnalyzerNames pins the suite roster.
 func TestAnalyzerNames(t *testing.T) {
 	got := analysis.AnalyzerNames()
-	want := []string{"determinism", "hotpath", "lockio", "metricnames", "sentinelerr"}
+	want := []string{"atomicmix", "ctxflow", "determinism", "goroleak", "hotpath", "lockio", "lockorder", "metricnames", "sentinelerr"}
 	if len(got) != len(want) {
 		t.Fatalf("AnalyzerNames() = %v, want %v", got, want)
 	}

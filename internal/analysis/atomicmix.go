@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// newAtomicMix builds the atomicmix analyzer: a field or variable that
+// is ever passed to a sync/atomic operation must be accessed atomically
+// everywhere. A plain read racing an atomic write is still a data race
+// (and on top of that the compiler may cache, tear, or reorder the
+// plain access) — the race detector only catches it when both sides
+// actually collide under test, while this check catches it statically,
+// module-wide, including across packages.
+//
+// Pass one collects the target of every `atomic.AddX/LoadX/StoreX/
+// SwapX/CompareAndSwapX(&v, ...)` call (the typed atomic.Int64-style
+// API cannot mix — its representation is unexported, so plain access
+// does not compile). Pass two reports every other appearance of a
+// collected variable: plain reads, writes, and non-atomic aliasing via
+// &v. Declarations, the atomic call sites themselves, and composite-
+// literal field keys are exempt. Deliberate single-goroutine phases
+// (e.g. a constructor before publication) carry //distec:nolint
+// atomicmix at the access.
+//
+// Mixing is a module-wide property (the atomic side and the plain side
+// are usually in different files), so the check runs in Finish and
+// stands down on partial package selections.
+func newAtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "flags fields accessed both through sync/atomic and with plain reads/writes anywhere in the module",
+	}
+	a.Finish = func(m *Module, pkgs []*Package, cfg Config, report func(Diagnostic)) {
+		if len(pkgs) != len(m.Pkgs) {
+			return // the plain side may live in an unselected package
+		}
+		atomicVars := map[*types.Var]string{} // var -> position of one atomic site
+		consumed := map[*ast.Ident]bool{}     // idents that are the atomic operand itself
+		for _, pkg := range m.Pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					v, id := atomicTarget(pkg.Info, call)
+					if v == nil {
+						return true
+					}
+					if _, ok := atomicVars[v]; !ok {
+						atomicVars[v] = m.Fset.Position(call.Pos()).String()
+					}
+					consumed[id] = true
+					return true
+				})
+			}
+		}
+		if len(atomicVars) == 0 {
+			return
+		}
+		for _, pkg := range m.Pkgs {
+			for _, f := range pkg.Files {
+				// Composite-literal field keys name the field without reading it.
+				keys := map[*ast.Ident]bool{}
+				ast.Inspect(f, func(n ast.Node) bool {
+					if kv, ok := n.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							keys[id] = true
+						}
+					}
+					return true
+				})
+				ast.Inspect(f, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok || consumed[id] || keys[id] {
+						return true
+					}
+					v, ok := pkg.Info.Uses[id].(*types.Var)
+					if !ok {
+						return true
+					}
+					site, mixed := atomicVars[v]
+					if !mixed {
+						return true
+					}
+					pos := m.Fset.Position(id.Pos())
+					report(Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("%s is accessed atomically at %s but with a plain read/write here: a plain access racing the atomic side is a data race", id.Name, site),
+					})
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// atomicTarget recognizes old-style pointer atomic calls —
+// atomic.Op(&v, ...) — and returns the variable object v resolves to,
+// plus the identifier naming it (so the call site itself can be
+// exempted from the plain-access pass).
+func atomicTarget(info *types.Info, call *ast.CallExpr) (*types.Var, *ast.Ident) {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, nil
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return nil, nil // typed API (atomic.Int64 methods): cannot mix
+	}
+	name := fn.Name()
+	switch {
+	case strings.HasPrefix(name, "Add"), strings.HasPrefix(name, "Load"),
+		strings.HasPrefix(name, "Store"), strings.HasPrefix(name, "Swap"),
+		strings.HasPrefix(name, "CompareAndSwap"), strings.HasPrefix(name, "Or"),
+		strings.HasPrefix(name, "And"):
+	default:
+		return nil, nil
+	}
+	if len(call.Args) == 0 {
+		return nil, nil
+	}
+	addr, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil, nil
+	}
+	switch operand := unparen(addr.X).(type) {
+	case *ast.Ident:
+		v, _ := identObj(info, operand).(*types.Var)
+		return v, operand
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[operand.Sel].(*types.Var)
+		return v, operand.Sel
+	}
+	return nil, nil
+}

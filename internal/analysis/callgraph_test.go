@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCallGraphGoldens pins the builder's edges over the cg fixture: one
+// example per edge kind — static calls, CHA interface dispatch to value-
+// and pointer-receiver implementations, function-typed-field resolution,
+// and a bound method value — plus the Ping/Pong static cycle, whose
+// presence in the output proves graph construction terminates on cycles.
+func TestCallGraphGoldens(t *testing.T) {
+	m := loadFixtureModule(t)
+	g := m.CallGraph()
+	var got []string
+	for _, e := range g.Edges() {
+		if strings.Contains(e.Caller.String(), "/cg.") {
+			got = append(got, e.String())
+		}
+	}
+	want := []string{
+		"(*distecvet.example/cg.Box).Call -> distecvet.example/cg.leaf [value]",
+		"distecvet.example/cg.Dispatch -> (*distecvet.example/cg.Slow).Run [interface]",
+		"distecvet.example/cg.Dispatch -> (distecvet.example/cg.Fast).Run [interface]",
+		"distecvet.example/cg.MethodValue -> (distecvet.example/cg.Fast).Run [value]",
+		"distecvet.example/cg.NewBox -> distecvet.example/cg.leaf [value]",
+		"distecvet.example/cg.Ping -> distecvet.example/cg.Pong [static]",
+		"distecvet.example/cg.Pong -> distecvet.example/cg.Ping [static]",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cg edges:\n  got  %q\n  want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

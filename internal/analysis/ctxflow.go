@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newCtxFlow builds the ctxflow analyzer: context.Context discipline.
+// Contexts carry the caller's deadline and cancellation; every rule here
+// guards the same property — that cancellation actually propagates to
+// the work it is supposed to stop:
+//
+//   - a context parameter must come first (after the receiver), the
+//     convention every caller and wrapper in the module relies on;
+//   - a context must not be stored in a struct field — a field outlives
+//     the call that produced it, so later uses observe a stale deadline
+//     (the rare lifecycle-binding exceptions carry //distec:nolint
+//     ctxflow with a justification);
+//   - the cancel function of context.WithCancel/WithTimeout/WithDeadline
+//     must not be discarded, must be called on every path (defer it
+//     immediately, or it leaks the context's timer and child goroutines
+//     on early returns), or must escape to a caller who owns it;
+//   - request-scoped packages (Config.RequestScopedPackages) must not
+//     mint fresh roots via context.Background()/TODO() outside main or
+//     init — a fresh root detaches the work from the request's deadline.
+func newCtxFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "enforces context discipline: ctx first param, no ctx struct fields, cancel called on all paths, no fresh roots in request-scoped code",
+	}
+	a.Run = func(p *Pass) {
+		requestScoped := false
+		for _, suffix := range p.Config.RequestScopedPackages {
+			if hasPathSuffix(p.Pkg.Path, suffix) {
+				requestScoped = true
+				break
+			}
+		}
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				switch decl := decl.(type) {
+				case *ast.GenDecl:
+					checkCtxFields(p, decl)
+				case *ast.FuncDecl:
+					checkCtxParamFirst(p, decl)
+					if decl.Body == nil {
+						continue
+					}
+					if requestScoped && decl.Name.Name != "main" && decl.Name.Name != "init" {
+						checkCtxRoots(p, decl.Body)
+					}
+					// Cancel discipline is per function body; nested literals
+					// are their own scope and get their own walk.
+					checkCancelDiscipline(p, decl.Body)
+					ast.Inspect(decl.Body, func(n ast.Node) bool {
+						if lit, ok := n.(*ast.FuncLit); ok {
+							checkCancelDiscipline(p, lit.Body)
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	return a
+}
+
+// isContextType reports whether t is exactly context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxParamFirst reports context parameters not in first position.
+func checkCtxParamFirst(p *Pass, fd *ast.FuncDecl) {
+	fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	params := fn.Type().(*types.Signature).Params()
+	for i := 1; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) && !isContextType(params.At(0).Type()) {
+			p.Reportf(fd.Pos(), "context.Context parameter %q is not first: callers and wrappers assume ctx leads the signature", params.At(i).Name())
+			return
+		}
+	}
+}
+
+// checkCtxFields reports struct fields of type context.Context.
+func checkCtxFields(p *Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := p.Pkg.Info.Types[field.Type]
+			if !ok || tv.Type == nil || !isContextType(tv.Type) {
+				continue
+			}
+			name := "(embedded)"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			p.Reportf(field.Pos(), "context.Context stored in struct field %q: a field outlives the call that produced the ctx, so cancellation and deadlines go stale — pass ctx as a parameter", name)
+		}
+	}
+}
+
+// checkCtxRoots reports context.Background()/TODO() calls inside a
+// request-scoped function body (fresh roots detach work from the
+// caller's deadline).
+func checkCtxRoots(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range [...]string{"Background", "TODO"} {
+			if isPkgCall(p.Pkg.Info, call, "context", name) {
+				p.Reportf(call.Pos(), "context.%s() in request-scoped package: this detaches the work from the caller's deadline and cancellation — derive from the incoming ctx", name)
+			}
+		}
+		return true
+	})
+}
+
+// ctxCancelFuncs maps the context constructors that return a CancelFunc
+// (as their second result) for the cancel-discipline check.
+var ctxCancelFuncs = map[string]bool{
+	"WithCancel":        true,
+	"WithTimeout":       true,
+	"WithDeadline":      true,
+	"WithCancelCause":   true,
+	"WithTimeoutCause":  true,
+	"WithDeadlineCause": true,
+}
+
+// checkCancelDiscipline finds `ctx, cancel := context.WithX(...)`
+// assignments directly in body (not in nested literals) and verifies the
+// cancel function is handled: not discarded, and either deferred,
+// escaped to a caller, or called with no return path before the call.
+func checkCancelDiscipline(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own scope, walked separately
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := calleeObj(info, call).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !ctxCancelFuncs[fn.Name()] {
+			return true
+		}
+		cancelID, ok := unparen(as.Lhs[1]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cancelID.Name == "_" {
+			p.Reportf(as.Pos(), "cancel function of context.%s discarded: the context (and its timer) leaks until the parent ends — keep it and defer it", fn.Name())
+			return true
+		}
+		obj := identObj(info, cancelID)
+		if obj == nil {
+			return true
+		}
+		checkCancelUse(p, body, as, fn.Name(), cancelID, obj)
+		return true
+	})
+}
+
+// checkCancelUse classifies every use of the cancel variable inside body
+// and reports the two leak shapes: never used at all, and called on the
+// fall-through path only (a return between the assignment and the call
+// skips it).
+func checkCancelUse(p *Pass, body *ast.BlockStmt, as *ast.AssignStmt, ctor string, cancelID *ast.Ident, obj types.Object) {
+	info := p.Pkg.Info
+	var (
+		deferred, escaped bool
+		firstCall         ast.Node
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if id, ok := unparen(n.Call.Fun).(*ast.Ident); ok && identObj(info, id) == obj {
+				deferred = true
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && identObj(info, id) == obj {
+				if firstCall == nil || n.Pos() < firstCall.Pos() {
+					firstCall = n
+				}
+				return true
+			}
+			// cancel passed as an argument: ownership moves to the callee.
+			for _, arg := range n.Args {
+				if id, ok := unparen(arg).(*ast.Ident); ok && identObj(info, id) == obj {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := unparen(res).(*ast.Ident); ok && identObj(info, id) == obj {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == as {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				id, ok := unparen(rhs).(*ast.Ident)
+				if !ok || identObj(info, id) != obj {
+					continue
+				}
+				// `_ = cancel` is a lint-silencing no-op, not a transfer of
+				// ownership; a real store (field, map, variable) is.
+				if i < len(n.Lhs) {
+					if lhs, ok := unparen(n.Lhs[i]).(*ast.Ident); ok && lhs.Name == "_" {
+						continue
+					}
+				}
+				escaped = true
+			}
+		}
+		return true
+	})
+	if deferred || escaped {
+		return
+	}
+	if firstCall == nil {
+		p.Reportf(as.Pos(), "cancel function %q of context.%s is never called: the context (and its timer) leaks — defer it immediately", cancelID.Name, ctor)
+		return
+	}
+	// Called, but not deferred: any return between the assignment and the
+	// first call skips the cancel.
+	leakyReturn := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if leakyReturn {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > as.End() && ret.Pos() < firstCall.Pos() {
+			leakyReturn = true
+		}
+		return true
+	})
+	if leakyReturn {
+		p.Reportf(as.Pos(), "cancel function %q of context.%s is called but not deferred, and a return path precedes the call: that path leaks the context — defer it immediately", cancelID.Name, ctor)
+	}
+}

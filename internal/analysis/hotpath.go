@@ -20,18 +20,25 @@ import (
 //     (a fresh backing array per call instead of amortized reuse);
 //   - calls into the trace package not dominated by a nil check — the
 //     disabled-tracer cost model is one pointer test per round, which
-//     only holds when every emission sits behind a guard.
+//     only holds when every emission sits behind a guard;
+//   - calls whose static callee (transitively, through the module call
+//     graph) formats with fmt or allocates a map on its own steady-state
+//     path — an allocation two calls below the marked function is the
+//     same bug as one inside it. Callees marked //distec:hotpath are
+//     exempt here (they are checked directly), as are callee sites
+//     carrying an in-place //distec:nolint hotpath.
 func newHotPath() *Analyzer {
 	a := &Analyzer{
 		Name: "hotpath",
-		Doc:  "flags fmt, capturing closures, map allocation, fresh-slice append, and unguarded trace calls inside //distec:hotpath functions",
+		Doc:  "flags fmt, capturing closures, map allocation, fresh-slice append, and unguarded trace calls inside (or statically reachable from) //distec:hotpath functions",
 	}
+	sums := &hotSums{memo: map[*CGNode]*hotViolation{}, visiting: map[*CGNode]bool{}}
 	a.Run = func(p *Pass) {
 		for _, f := range p.Pkg.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if ok && fd.Body != nil && isHotPath(fd) {
-					checkHotFunc(p, fd)
+					checkHotFunc(p, fd, sums)
 				}
 			}
 		}
@@ -39,7 +46,81 @@ func newHotPath() *Analyzer {
 	return a
 }
 
-func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+// hotViolation is one steady-state allocation found in a callee, for
+// transitive reporting at the hot-path call site.
+type hotViolation struct {
+	what string
+	pos  token.Pos
+}
+
+type hotSums struct {
+	memo     map[*CGNode]*hotViolation // nil value = callee is clean
+	visiting map[*CGNode]bool
+}
+
+// violationIn returns the first fmt call or map allocation on the
+// steady-state (non-cold) path of a declared function, searching its
+// static callees transitively. Memoized; recursion reports the callee
+// under scan as clean, which terminates cycles fail-safe.
+func (s *hotSums) violationIn(m *Module, n *CGNode) *hotViolation {
+	if v, ok := s.memo[n]; ok {
+		return v
+	}
+	if s.visiting[n] {
+		return nil
+	}
+	s.visiting[n] = true
+	defer delete(s.visiting, n)
+	info := n.Pkg.Info
+	cold := func(pos token.Pos) bool {
+		list, top := enclosingStmtList(n.Decl, pos)
+		return !top && endsInReturn(list)
+	}
+	var found *hotViolation
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false // other goroutines / deferred closures: separate cost
+		case *ast.CallExpr:
+			if cold(node.Pos()) || m.posSuppressed(node.Pos(), "hotpath") {
+				return true
+			}
+			if callPkgPath(info, node) == "fmt" {
+				found = &hotViolation{what: types.ExprString(node.Fun), pos: node.Pos()}
+				return false
+			}
+			if id, ok := unparen(node.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if tv, ok := info.Types[node]; ok && tv.Type != nil {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							found = &hotViolation{what: "map allocation", pos: node.Pos()}
+							return false
+						}
+					}
+				}
+			}
+			if callee, ok := m.CallGraph().StaticCallee(node); ok && !isHotPath(callee.Decl) {
+				found = s.violationIn(m, callee)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[node]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap &&
+					!cold(node.Pos()) && !m.posSuppressed(node.Pos(), "hotpath") {
+					found = &hotViolation{what: "map literal", pos: node.Pos()}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	s.memo[n] = found
+	return found
+}
+
+func checkHotFunc(p *Pass, fd *ast.FuncDecl, sums *hotSums) {
 	info := p.Pkg.Info
 	// cold: the statement sits in a nested block that terminates in
 	// return — an early-exit error path, not steady-state round work.
@@ -55,6 +136,11 @@ func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
 			}
 			if tracerCall(p, n) && !nilGuarded(fd, n.Pos()) {
 				p.Reportf(n.Pos(), "unguarded tracer call %s in hot path: wrap in an `if x != nil` so the disabled cost stays one pointer test", types.ExprString(n.Fun))
+			}
+			if callee, ok := p.Module.CallGraph().StaticCallee(n); ok && !isHotPath(callee.Decl) && !cold(n.Pos()) {
+				if v := sums.violationIn(p.Module, callee); v != nil {
+					p.Reportf(n.Pos(), "call to %s in hot path transitively reaches %s at %s on its steady-state path", callee.Fn.Name(), v.what, p.Module.Fset.Position(v.pos))
+				}
 			}
 			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
 				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {

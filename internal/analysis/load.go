@@ -27,6 +27,41 @@ type Module struct {
 
 	byPath   map[string]*Package
 	fallback types.Importer // stdlib, from source
+
+	cg    *CallGraph             // lazy, via CallGraph()
+	supAt map[string]suppression // lazy "file:line" suppression index, via suppressedAt
+}
+
+// suppressedAt reports whether a //distec:nolint directive anywhere in
+// the module silences the named analyzer at file:line. The driver
+// applies suppressions per selected package; this module-wide index
+// exists for the transitive analyzers, whose callee summaries must skip
+// sites that were already justified in place — otherwise every caller of
+// a nolint-ed function would re-report the suppressed finding.
+func (m *Module) suppressedAt(file string, line int, analyzer string) bool {
+	if m.supAt == nil {
+		m.supAt = map[string]suppression{}
+		for _, pkg := range m.Pkgs {
+			for _, f := range pkg.Files {
+				for l, s := range suppressionsOf(m.Fset, f) {
+					name := m.Fset.Position(f.Pos()).Filename
+					key := fmt.Sprintf("%s:%d", name, l)
+					if prev, ok := m.supAt[key]; ok {
+						s = mergeSuppression(prev, s)
+					}
+					m.supAt[key] = s
+				}
+			}
+		}
+	}
+	s, ok := m.supAt[fmt.Sprintf("%s:%d", file, line)]
+	return ok && s.suppressed(analyzer)
+}
+
+// posSuppressed is suppressedAt keyed by a token.Pos.
+func (m *Module) posSuppressed(pos token.Pos, analyzer string) bool {
+	p := m.Fset.Position(pos)
+	return m.suppressedAt(p.Filename, p.Line, analyzer)
 }
 
 // Package is one parsed and type-checked package of the module.

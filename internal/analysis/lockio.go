@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -26,16 +27,24 @@ import (
 // (an unlock inside an if that returns does not release the lock for
 // the code after the if), deferred unlocks never release for scanning
 // purposes, and goroutine bodies and function literals are skipped.
+//
+// The check is transitive through the module call graph: a call made
+// under the lock whose static callee (at any depth) performs blocking
+// I/O is the same bug as the I/O inlined, and is reported at the call
+// site under the lock. Callee I/O sites carrying an in-place
+// //distec:nolint lockio are part of a documented design and do not
+// propagate to callers; dynamic calls resolve to nothing and fail safe.
 func newLockIO() *Analyzer {
 	a := &Analyzer{
 		Name: "lockio",
-		Doc:  "flags blocking I/O (file writes, fsync, os calls, journal hooks) reachable while a mutex locked in the same function is held",
+		Doc:  "flags blocking I/O (file writes, fsync, os calls, journal hooks) reachable, directly or through static callees, while a mutex locked in the same function is held",
 	}
+	sums := &ioSums{memo: map[*CGNode]*ioViolation{}, visiting: map[*CGNode]bool{}}
 	a.Run = func(p *Pass) {
 		for _, f := range p.Pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
-					scanLockedIO(p, fd.Body.List, nil)
+					scanLockedIO(p, sums, fd.Body.List, nil)
 				}
 				return true
 			})
@@ -44,17 +53,67 @@ func newLockIO() *Analyzer {
 	return a
 }
 
+// ioViolation is one blocking-I/O site found in a callee, for
+// transitive reporting at the under-lock call site.
+type ioViolation struct {
+	what string
+	pos  token.Pos
+}
+
+type ioSums struct {
+	memo     map[*CGNode]*ioViolation // nil value = callee does no blocking I/O
+	visiting map[*CGNode]bool
+}
+
+// violationIn returns the first unsuppressed blocking-I/O call in a
+// declared function or its static callees. Memoized; recursion treats
+// the callee under scan as clean, terminating cycles fail-safe.
+func (s *ioSums) violationIn(m *Module, n *CGNode) *ioViolation {
+	if v, ok := s.memo[n]; ok {
+		return v
+	}
+	if s.visiting[n] {
+		return nil
+	}
+	s.visiting[n] = true
+	defer delete(s.visiting, n)
+	var found *ioViolation
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false // runs on another goroutine or at return
+		case *ast.CallExpr:
+			if m.posSuppressed(node.Pos(), "lockio") {
+				return true
+			}
+			if what := blockingIO(n.Pkg.Info, node); what != "" {
+				found = &ioViolation{what: what, pos: node.Pos()}
+				return false
+			}
+			if callee, ok := m.CallGraph().StaticCallee(node); ok {
+				found = s.violationIn(m, callee)
+			}
+		}
+		return true
+	})
+	s.memo[n] = found
+	return found
+}
+
 // scanLockedIO walks stmts in order, tracking the stack of held lock
 // names, and reports I/O calls made while the stack is non-empty.
 // It returns the stack as of the end of the list.
-func scanLockedIO(p *Pass, stmts []ast.Stmt, held []string) []string {
+func scanLockedIO(p *Pass, sums *ioSums, stmts []ast.Stmt, held []string) []string {
 	for _, st := range stmts {
-		held = scanStmt(p, st, held)
+		held = scanStmt(p, sums, st, held)
 	}
 	return held
 }
 
-func scanStmt(p *Pass, st ast.Stmt, held []string) []string {
+func scanStmt(p *Pass, sums *ioSums, st ast.Stmt, held []string) []string {
 	switch st := st.(type) {
 	case *ast.ExprStmt:
 		if call, ok := unparen(st.X).(*ast.CallExpr); ok {
@@ -65,7 +124,7 @@ func scanStmt(p *Pass, st ast.Stmt, held []string) []string {
 				return releaseLock(held, name)
 			}
 		}
-		checkIOExpr(p, st.X, held)
+		checkIOExpr(p, sums, st.X, held)
 	case *ast.DeferStmt:
 		// defer mu.Unlock() releases only at return: the lock stays held
 		// for everything after this statement. Other deferred calls run
@@ -73,48 +132,48 @@ func scanStmt(p *Pass, st ast.Stmt, held []string) []string {
 	case *ast.GoStmt:
 		// A spawned goroutine does not hold this function's locks.
 	case *ast.BlockStmt:
-		held = scanLockedIO(p, st.List, held)
+		held = scanLockedIO(p, sums, st.List, held)
 	case *ast.LabeledStmt:
-		held = scanStmt(p, st.Stmt, held)
+		held = scanStmt(p, sums, st.Stmt, held)
 	case *ast.IfStmt:
 		if st.Init != nil {
-			held = scanStmt(p, st.Init, held)
+			held = scanStmt(p, sums, st.Init, held)
 		}
-		checkIOExpr(p, st.Cond, held)
-		scanLockedIO(p, st.Body.List, held)
+		checkIOExpr(p, sums, st.Cond, held)
+		scanLockedIO(p, sums, st.Body.List, held)
 		if st.Else != nil {
-			scanStmt(p, st.Else, held)
+			scanStmt(p, sums, st.Else, held)
 		}
 	case *ast.ForStmt:
 		if st.Init != nil {
-			held = scanStmt(p, st.Init, held)
+			held = scanStmt(p, sums, st.Init, held)
 		}
 		if st.Cond != nil {
-			checkIOExpr(p, st.Cond, held)
+			checkIOExpr(p, sums, st.Cond, held)
 		}
-		scanLockedIO(p, st.Body.List, held)
+		scanLockedIO(p, sums, st.Body.List, held)
 	case *ast.RangeStmt:
-		checkIOExpr(p, st.X, held)
-		scanLockedIO(p, st.Body.List, held)
+		checkIOExpr(p, sums, st.X, held)
+		scanLockedIO(p, sums, st.Body.List, held)
 	case *ast.SwitchStmt:
 		if st.Init != nil {
-			held = scanStmt(p, st.Init, held)
+			held = scanStmt(p, sums, st.Init, held)
 		}
 		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				scanLockedIO(p, cc.Body, held)
+				scanLockedIO(p, sums, cc.Body, held)
 			}
 		}
 	case *ast.TypeSwitchStmt:
 		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				scanLockedIO(p, cc.Body, held)
+				scanLockedIO(p, sums, cc.Body, held)
 			}
 		}
 	case *ast.SelectStmt:
 		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CommClause); ok {
-				scanLockedIO(p, cc.Body, held)
+				scanLockedIO(p, sums, cc.Body, held)
 			}
 		}
 	default:
@@ -126,7 +185,7 @@ func scanStmt(p *Pass, st ast.Stmt, held []string) []string {
 					return false
 				}
 				if call, ok := n.(*ast.CallExpr); ok {
-					reportIfBlockingIO(p, call, held)
+					reportIfBlockingIO(p, sums, call, held)
 				}
 				return true
 			})
@@ -136,7 +195,7 @@ func scanStmt(p *Pass, st ast.Stmt, held []string) []string {
 }
 
 // checkIOExpr reports blocking I/O calls inside e while locks are held.
-func checkIOExpr(p *Pass, e ast.Expr, held []string) {
+func checkIOExpr(p *Pass, sums *ioSums, e ast.Expr, held []string) {
 	if e == nil || len(held) == 0 {
 		return
 	}
@@ -145,18 +204,25 @@ func checkIOExpr(p *Pass, e ast.Expr, held []string) {
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			reportIfBlockingIO(p, call, held)
+			reportIfBlockingIO(p, sums, call, held)
 		}
 		return true
 	})
 }
 
-func reportIfBlockingIO(p *Pass, call *ast.CallExpr, held []string) {
-	what := blockingIO(p, call)
-	if what == "" {
+func reportIfBlockingIO(p *Pass, sums *ioSums, call *ast.CallExpr, held []string) {
+	if what := blockingIO(p.Pkg.Info, call); what != "" {
+		p.Reportf(call.Pos(), "blocking I/O (%s) while %s is held: device latency becomes lock hold time", what, held[len(held)-1])
 		return
 	}
-	p.Reportf(call.Pos(), "blocking I/O (%s) while %s is held: device latency becomes lock hold time", what, held[len(held)-1])
+	callee, ok := p.Module.CallGraph().StaticCallee(call)
+	if !ok {
+		return
+	}
+	if v := sums.violationIn(p.Module, callee); v != nil {
+		p.Reportf(call.Pos(), "call to %s while %s is held transitively performs blocking I/O (%s at %s): device latency becomes lock hold time",
+			callee.Fn.Name(), held[len(held)-1], v.what, p.Module.Fset.Position(v.pos))
+	}
 }
 
 // lockDelta classifies call as a mutex acquire (+1) or release (-1) on
@@ -209,8 +275,7 @@ func releaseLock(held []string, name string) []string {
 
 // blockingIO classifies call as blocking I/O, returning a short
 // description ("" when it is not).
-func blockingIO(p *Pass, call *ast.CallExpr) string {
-	info := p.Pkg.Info
+func blockingIO(info *types.Info, call *ast.CallExpr) string {
 	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
 		name := sel.Sel.Name
 		// Field-valued callee whose name smells like the journal hook.

@@ -1,0 +1,18 @@
+package atomicmix
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to n.
+type Counter struct {
+	n int64
+}
+
+// Inc is the atomic side.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read is the racy plain side.
+func (c *Counter) Read() int64 {
+	return c.n // want "n is accessed atomically at .* but with a plain read/write here"
+}

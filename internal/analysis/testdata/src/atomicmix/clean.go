@@ -1,0 +1,14 @@
+package atomicmix
+
+import "sync/atomic"
+
+// Gauge is consistently atomic on every access.
+type Gauge struct {
+	v int64
+}
+
+// Set stores atomically.
+func (g *Gauge) Set(x int64) { atomic.StoreInt64(&g.v, x) }
+
+// Get loads atomically.
+func (g *Gauge) Get() int64 { return atomic.LoadInt64(&g.v) }

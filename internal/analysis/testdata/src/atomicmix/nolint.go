@@ -1,0 +1,20 @@
+package atomicmix
+
+import "sync/atomic"
+
+// Stat is written plainly only inside its constructor, before any other
+// goroutine can hold the pointer — a justified single-owner phase.
+type Stat struct {
+	hits int64
+}
+
+// NewStat seeds the counter pre-publication.
+func NewStat(seed int64) *Stat {
+	s := &Stat{}
+	//distec:nolint atomicmix
+	s.hits = seed
+	return s
+}
+
+// Hit is the concurrent, atomic side.
+func (s *Stat) Hit() { atomic.AddInt64(&s.hits, 1) }

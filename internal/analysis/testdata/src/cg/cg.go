@@ -1,0 +1,62 @@
+// Package cg is the call-graph builder's golden fixture: one example of
+// each edge kind (static, interface dispatch, function-typed field,
+// method value) plus a static cycle proving traversal terminates.
+package cg
+
+// Runner is the dispatch seam the CHA step resolves.
+type Runner interface {
+	Run() int
+}
+
+// Fast implements Runner with a value receiver.
+type Fast struct{}
+
+// Run implements Runner.
+func (Fast) Run() int { return 1 }
+
+// Slow implements Runner with a pointer receiver.
+type Slow struct{ n int }
+
+// Run implements Runner.
+func (s *Slow) Run() int { return s.n }
+
+// Dispatch calls through the interface: CHA fans to both implementations.
+func Dispatch(r Runner) int {
+	return r.Run()
+}
+
+// Box holds a function-typed field.
+type Box struct {
+	fn func() int
+}
+
+// leaf is the function assigned into the field.
+func leaf() int { return 42 }
+
+// NewBox wires the field — a value edge from NewBox to leaf.
+func NewBox() *Box {
+	return &Box{fn: leaf}
+}
+
+// Call invokes through the field, resolved against its assignments.
+func (b *Box) Call() int {
+	return b.fn()
+}
+
+// MethodValue returns a bound method value — a value edge to Fast.Run.
+func MethodValue(f Fast) func() int {
+	return f.Run
+}
+
+// Ping and Pong form a static cycle; Edges() must terminate on it.
+func Ping(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return Pong(n - 1)
+}
+
+// Pong closes the cycle.
+func Pong(n int) int {
+	return Ping(n)
+}

@@ -1,0 +1,46 @@
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// Holder stores a context — later uses observe a stale deadline.
+type Holder struct {
+	ctx context.Context // want "context.Context stored in struct field \"ctx\""
+}
+
+// Lookup buries ctx behind another parameter.
+func Lookup(name string, ctx context.Context) error { // want "context.Context parameter \"ctx\" is not first"
+	_ = name
+	return ctx.Err()
+}
+
+// Detach mints a fresh root in request-scoped code.
+func Detach() error {
+	ctx := context.Background() // want "context.Background\\(\\) in request-scoped package"
+	return ctx.Err()
+}
+
+// Discard throws the cancel function away.
+func Discard(parent context.Context) error {
+	ctx, _ := context.WithCancel(parent) // want "cancel function of context.WithCancel discarded"
+	return ctx.Err()
+}
+
+// Forget keeps cancel but never calls it.
+func Forget(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent) // want "cancel function \"cancel\" of context.WithCancel is never called"
+	_ = cancel
+	return ctx.Err()
+}
+
+// Race cancels only on the fall-through path.
+func Race(parent context.Context, fail bool) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want "called but not deferred, and a return path precedes the call"
+	if fail {
+		return ctx.Err()
+	}
+	cancel()
+	return nil
+}

@@ -1,0 +1,27 @@
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// Fetch follows the discipline: ctx first, cancel deferred immediately.
+func Fetch(ctx context.Context, name string) error {
+	_ = name
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return ctx.Err()
+}
+
+// NewTimeout derives and hands ownership of cancel to the caller.
+func NewTimeout(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+// Register passes cancel to a collector that owns the shutdown.
+func Register(parent context.Context, own func(context.CancelFunc)) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	own(cancel)
+	return ctx
+}

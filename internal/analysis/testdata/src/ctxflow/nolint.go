@@ -1,0 +1,21 @@
+package ctxflow
+
+import "context"
+
+// Boot runs before any request exists; the fresh root is the design.
+func Boot() error {
+	//distec:nolint ctxflow
+	ctx := context.Background()
+	return ctx.Err()
+}
+
+// Pinned is a daemon-lifetime component whose own lifecycle root lives
+// in the struct on purpose (it is created and cancelled by the struct,
+// never stored from a caller).
+type Pinned struct {
+	//distec:nolint ctxflow
+	ctx context.Context
+}
+
+// Ctx exposes the lifecycle root.
+func (p *Pinned) Ctx() context.Context { return p.ctx }

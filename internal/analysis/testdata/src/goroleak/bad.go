@@ -1,0 +1,32 @@
+package goroleak
+
+// Ticker owns a work queue drained by spawned goroutines.
+type Ticker struct {
+	q chan int
+}
+
+func (t *Ticker) spin() {}
+
+// Start spawns a literal whose loop has no way out.
+func (t *Ticker) Start() {
+	go func() { // want "goroutine has no termination path"
+		for {
+			t.spin()
+		}
+	}()
+}
+
+// StartWorker leaks through a call: the loop lives two frames down.
+func (t *Ticker) StartWorker() {
+	go t.run() // want "goroutine has no termination path"
+}
+
+func (t *Ticker) run() {
+	t.loop()
+}
+
+func (t *Ticker) loop() {
+	for {
+		t.spin()
+	}
+}

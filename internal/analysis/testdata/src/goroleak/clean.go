@@ -1,0 +1,33 @@
+package goroleak
+
+// Pump drains until the channel closes — the range terminates it.
+func (t *Ticker) Pump() {
+	go func() {
+		for v := range t.q {
+			_ = v
+		}
+	}()
+}
+
+// Run loops forever but returns when stop closes.
+func (t *Ticker) Run(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-t.q:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Burst does a bounded amount of work and exits.
+func (t *Ticker) Burst(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			t.spin()
+		}
+	}()
+}

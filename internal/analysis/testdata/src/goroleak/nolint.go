@@ -1,0 +1,12 @@
+package goroleak
+
+// StartForever is the process-lifetime pump: it is meant to die with
+// the process and never before, so the missing exit is the design.
+func (t *Ticker) StartForever() {
+	//distec:nolint goroleak
+	go func() {
+		for {
+			t.spin()
+		}
+	}()
+}

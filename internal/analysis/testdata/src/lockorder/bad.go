@@ -1,0 +1,34 @@
+package lockorder
+
+import "sync"
+
+// A and B are two lock classes acquired in opposite orders below.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// Pair owns one of each.
+type Pair struct {
+	a *A
+	b *B
+}
+
+// LockAB nests b under a.
+func (p *Pair) LockAB() {
+	p.a.mu.Lock()
+	p.b.mu.Lock() // want "lock-order cycle: \\(lockorder.B\\).mu is acquired while \\(lockorder.A\\).mu is held"
+	p.b.mu.Unlock()
+	p.a.mu.Unlock()
+}
+
+// LockBA nests a under b — through a call, so only the call graph sees it.
+func (p *Pair) LockBA() {
+	p.b.mu.Lock()
+	p.lockA() // want "lock-order cycle: call to lockA acquires \\(lockorder.A\\).mu while \\(lockorder.B\\).mu is held"
+	p.a.mu.Unlock()
+	p.b.mu.Unlock()
+}
+
+func (p *Pair) lockA() {
+	p.a.mu.Lock()
+}

@@ -1,0 +1,34 @@
+package lockorder
+
+import "sync"
+
+// C and D are always taken in the same order: C before D.
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+// Group owns one of each.
+type Group struct {
+	c *C
+	d *D
+}
+
+// Both nests directly, in hierarchy order.
+func (g *Group) Both() {
+	g.c.mu.Lock()
+	g.d.mu.Lock()
+	g.d.mu.Unlock()
+	g.c.mu.Unlock()
+}
+
+// BothViaCall nests through a call — same order, still no cycle.
+func (g *Group) BothViaCall() {
+	g.c.mu.Lock()
+	g.lockD()
+	g.d.mu.Unlock()
+	g.c.mu.Unlock()
+}
+
+func (g *Group) lockD() {
+	g.d.mu.Lock()
+}

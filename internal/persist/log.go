@@ -565,6 +565,7 @@ func (l *Log) rotate() error {
 		return fmt.Errorf("persist: %w", err)
 	}
 	path := filepath.Join(l.dir, WALFile)
+	//distec:nolint lockio
 	if err := writeFileSync(l.fsys, path, walMagic[:], l.opts.Fsync); err != nil {
 		return err
 	}

@@ -15,7 +15,12 @@ import (
 // routing decision is per execution, not per job: a large job's small
 // sub-instances still take the sequential fast path.
 type jobEngine struct {
-	p   *Pool
+	p *Pool
+	// ctx is the job's context, carried so the fixed local.Engine interface
+	// (Name/Interrupt/Run take no ctx — six engines share it) can observe
+	// the job's deadline. The adapter lives exactly one job execution, so
+	// the stored ctx cannot outlive its call.
+	//distec:nolint ctxflow
 	ctx context.Context
 }
 
@@ -34,7 +39,7 @@ func (e *jobEngine) Run(t *local.Topology, f local.Factory, opts *local.Options)
 	if err := e.ctx.Err(); err != nil {
 		return local.Stats{}, err
 	}
-	opts = withInterrupt(opts, e.ctx)
+	opts = withInterrupt(e.ctx, opts)
 	var (
 		stats local.Stats
 		err   error
@@ -58,7 +63,7 @@ func (e *jobEngine) Run(t *local.Topology, f local.Factory, opts *local.Options)
 // withInterrupt returns a copy of opts whose Interrupt hook also polls ctx,
 // so engines abort promptly when the job is cancelled or its deadline
 // passes.
-func withInterrupt(opts *local.Options, ctx context.Context) *local.Options {
+func withInterrupt(ctx context.Context, opts *local.Options) *local.Options {
 	var o local.Options
 	if opts != nil {
 		o = *opts
